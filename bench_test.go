@@ -1,0 +1,209 @@
+// Package frontiersim's root benchmark suite regenerates every table and
+// figure of the paper's evaluation section, one testing.B benchmark per
+// artifact, plus micro-benchmarks of the simulator's hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each reproduction benchmark reports the paper-vs-measured rows once
+// (via b.Log on the first iteration) and then times the full experiment,
+// so `go test -bench` output doubles as a regeneration log.
+package frontiersim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"frontiersim/internal/experiments"
+	"frontiersim/internal/fabric"
+	"frontiersim/internal/gpu"
+	"frontiersim/internal/memory"
+	"frontiersim/internal/network"
+	"frontiersim/internal/report"
+	"frontiersim/internal/scheduler"
+	"frontiersim/internal/sim"
+	"frontiersim/internal/units"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.DefaultOptions()
+	opts.Quick = testing.Short()
+	var table *report.Table
+	for i := 0; i < b.N; i++ {
+		table, err = runner.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	table.Render(&buf)
+	b.Log("\n" + buf.String())
+	if dev := table.MaxAbsDeviation(); dev > 0 {
+		b.ReportMetric(dev*100, "max-deviation-%")
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkTable1ComputeSpecs(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2IOSpecs(b *testing.B)      { benchExperiment(b, "table2") }
+func BenchmarkTable3CPUStream(b *testing.B)    { benchExperiment(b, "table3") }
+func BenchmarkFig3Gemm(b *testing.B)           { benchExperiment(b, "fig3") }
+func BenchmarkTable4GPUStream(b *testing.B)    { benchExperiment(b, "table4") }
+func BenchmarkFig4HostToDevice(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig5PeerBandwidth(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFig6MpiGraph(b *testing.B)       { benchExperiment(b, "fig6") }
+func BenchmarkTable5GPCNeT(b *testing.B)       { benchExperiment(b, "table5") }
+func BenchmarkSec431NodeLocal(b *testing.B)    { benchExperiment(b, "sec431") }
+func BenchmarkSec432Orion(b *testing.B)        { benchExperiment(b, "sec432") }
+func BenchmarkTable6CAAR(b *testing.B)         { benchExperiment(b, "table6") }
+func BenchmarkTable7ECP(b *testing.B)          { benchExperiment(b, "table7") }
+func BenchmarkSec51Power(b *testing.B)         { benchExperiment(b, "sec51") }
+func BenchmarkSec54Resiliency(b *testing.B)    { benchExperiment(b, "sec54") }
+
+// Ablation benchmarks (DESIGN.md extensions).
+
+func BenchmarkAblationTaper(b *testing.B)      { benchExperiment(b, "ablation-taper") }
+func BenchmarkAblationNPS(b *testing.B)        { benchExperiment(b, "ablation-nps") }
+func BenchmarkAblationRouting(b *testing.B)    { benchExperiment(b, "ablation-routing") }
+func BenchmarkAblationCC(b *testing.B)         { benchExperiment(b, "ablation-cc") }
+func BenchmarkAblationPlacement(b *testing.B)  { benchExperiment(b, "ablation-placement") }
+func BenchmarkAblationCheckpoint(b *testing.B) { benchExperiment(b, "ablation-checkpoint") }
+
+// Micro-benchmarks of the simulator's hot paths.
+
+func BenchmarkDragonflyBuild(b *testing.B) {
+	cfg := fabric.FrontierConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := fabric.NewDragonfly(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinimalRoute(b *testing.B) {
+	f, err := fabric.NewDragonfly(fabric.FrontierConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	n := f.Cfg.ComputeEndpoints()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, dst := rng.Intn(n), rng.Intn(n)
+		if src == dst {
+			continue
+		}
+		if _, err := f.MinimalPath(src, dst, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxMinSolve(b *testing.B) {
+	f, err := fabric.NewDragonfly(fabric.ScaledConfig(16, 16, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	nodes := f.Cfg.ComputeNodes()
+	build := func() []*network.Demand {
+		demands := make([]*network.Demand, 0, nodes)
+		for i := 0; i < nodes; i++ {
+			src := f.NodeEndpoints(i)[0]
+			dst := f.NodeEndpoints((i + nodes/2) % nodes)[0]
+			ps, err := f.AdaptivePaths(src, dst, 4, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			demands = append(demands, &network.Demand{Src: src, Dst: dst, Paths: ps.Paths})
+		}
+		return demands
+	}
+	demands := build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := network.Solve(f, demands); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPPN(b *testing.B)    { benchExperiment(b, "ablation-ppn") }
+func BenchmarkExtBurstBuffer(b *testing.B) { benchExperiment(b, "ext-burstbuffer") }
+func BenchmarkExtSysmgmt(b *testing.B)     { benchExperiment(b, "ext-sysmgmt") }
+func BenchmarkExtOperations(b *testing.B)  { benchExperiment(b, "ext-operations") }
+
+func BenchmarkRoutingTableBuild(b *testing.B) {
+	f, err := fabric.NewDragonfly(fabric.FrontierConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tables := f.BuildAllRoutingTables(); len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkTransportMessage(b *testing.B) {
+	f, err := fabric.NewDragonfly(fabric.ScaledConfig(6, 8, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := sim.NewKernel(1)
+	tr := network.NewTransport(k, f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Send(i%96, 96+i%96, 64*units.KiB, nil); err != nil {
+			b.Fatal(err)
+		}
+		k.Run()
+	}
+}
+
+func BenchmarkSchedulerCycle(b *testing.B) {
+	f, err := fabric.NewDragonfly(fabric.FrontierConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := sim.NewKernel(1)
+	s := scheduler.New(k, f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Submit("bench", 1024, 10, nil); err != nil {
+			b.Fatal(err)
+		}
+		k.Run()
+	}
+}
+
+func BenchmarkStreamModel(b *testing.B) {
+	d := memory.TrentoDDR4()
+	for i := 0; i < b.N; i++ {
+		for _, kern := range memory.CPUStreamKernels {
+			if memory.CPUStreamBandwidth(d, kern, i%2 == 0) <= 0 {
+				b.Fatal("zero bandwidth")
+			}
+		}
+	}
+}
+
+func BenchmarkGemmModel(b *testing.B) {
+	g := gpu.NewMI250XGCD()
+	for i := 0; i < b.N; i++ {
+		if g.GemmAchieved(gpu.FP64, 8192) <= 0 {
+			b.Fatal("zero rate")
+		}
+	}
+}
+
+func BenchmarkExtInventory(b *testing.B) { benchExperiment(b, "ext-inventory") }
+
+func BenchmarkExtMiniapps(b *testing.B) { benchExperiment(b, "ext-miniapps") }

@@ -1,0 +1,103 @@
+// Command frontier-sim runs the paper-reproduction experiments: every
+// table and figure in the evaluation section of "Frontier: Exploring
+// Exascale" (SC '23) has an experiment id, and each run prints a
+// paper-vs-measured table.
+//
+// Usage:
+//
+//	frontier-sim list                 # show all experiment ids
+//	frontier-sim run <id> [...]       # run one or more experiments
+//	frontier-sim run all              # run everything, in paper order
+//	frontier-sim -markdown run all    # emit markdown (EXPERIMENTS.md body)
+//	frontier-sim -quick run all       # reduced sampling for smoke tests
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"frontiersim/internal/experiments"
+)
+
+func main() {
+	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	quick := flag.Bool("quick", false, "reduced sampling (smoke test)")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "verify":
+		opts := experiments.Options{Quick: *quick, Seed: *seed}
+		results := experiments.Verify(opts)
+		for _, r := range results {
+			fmt.Println(r)
+		}
+		if !experiments.AllPass(results) {
+			fmt.Fprintln(os.Stderr, "frontier-sim: reproduction check FAILED")
+			os.Exit(1)
+		}
+		fmt.Println("all experiments within their reproduction envelopes")
+	case "list":
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-20s %s\n", r.ID, r.Description)
+		}
+	case "run":
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "frontier-sim: run needs experiment ids or 'all'")
+			os.Exit(2)
+		}
+		opts := experiments.Options{Quick: *quick, Seed: *seed}
+		var runners []experiments.Runner
+		if args[1] == "all" {
+			runners = experiments.Registry()
+		} else {
+			for _, id := range args[1:] {
+				r, err := experiments.ByID(id)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "frontier-sim:", err)
+					os.Exit(1)
+				}
+				runners = append(runners, r)
+			}
+		}
+		for _, r := range runners {
+			start := time.Now()
+			table, err := r.Run(opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "frontier-sim: %s: %v\n", r.ID, err)
+				os.Exit(1)
+			}
+			if *markdown {
+				table.Markdown(os.Stdout)
+			} else {
+				table.Render(os.Stdout)
+			}
+			fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", r.ID, time.Since(start).Round(time.Millisecond))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "frontier-sim: unknown command %q\n", args[0])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `frontier-sim reproduces the evaluation of the Frontier SC'23 paper.
+
+usage:
+  frontier-sim [flags] list
+  frontier-sim [flags] run <id>... | all
+  frontier-sim [flags] verify
+
+flags:
+`)
+	flag.PrintDefaults()
+}

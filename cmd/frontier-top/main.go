@@ -1,0 +1,59 @@
+// Command frontier-top prints TOP500/Green500/HPCG-style submission
+// lines for the simulated machines — the June 2022 debut the paper's
+// §5.1 celebrates: Frontier #1 on both lists at once.
+//
+// Usage:
+//
+//	frontier-top [-nodes N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"frontiersim/internal/core"
+	"frontiersim/internal/power"
+	"frontiersim/internal/units"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 0, "Frontier nodes in the run (0 = all)")
+	flag.Parse()
+
+	frontier, err := core.NewFrontier(1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "frontier-top:", err)
+		os.Exit(1)
+	}
+	summit, err := core.NewSummit(1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "frontier-top:", err)
+		os.Exit(1)
+	}
+
+	n := *nodes
+	if n == 0 || n > frontier.HPLSpec.Nodes {
+		n = frontier.HPLSpec.Nodes
+	}
+
+	fmt.Printf("%-10s %8s %12s %12s %12s %10s %10s\n",
+		"system", "nodes", "Rpeak", "Rmax (HPL)", "HPCG", "power", "GF/W")
+	row := func(name string, nodes int, rpeak, rmax, hpcg units.Flops, w units.Watts) {
+		fmt.Printf("%-10s %8d %12s %12s %12s %10s %10.1f\n",
+			name, nodes, rpeak, rmax, hpcg, w, power.Efficiency(rmax, w)/1e9)
+	}
+	fw := frontier.Power.SystemHPL(n)
+	row("frontier", n, frontier.HPLSpec.RPeak(), frontier.HPLSpec.HPLRmax(n), frontier.HPLSpec.HPCG(n), fw)
+	// Summit at ~10 MW (its TOP500 submission).
+	row("summit", summit.HPLSpec.Nodes, summit.HPLSpec.RPeak(),
+		summit.HPLSpec.HPLRmax(summit.HPLSpec.Nodes), summit.HPLSpec.HPCG(summit.HPLSpec.Nodes),
+		10.1*units.Megawatt)
+
+	fmt.Printf("\nHPL run plan on %d nodes: N = %.1fM, ~%v at ~%s\n",
+		n, float64(frontier.HPLSpec.HPLProblemSize(n, 0.85))/1e6,
+		frontier.HPLSpec.HPLRunTime(n, 0.85), fw)
+	fmt.Printf("the 2008 exascale report's targets: 50 GF/W, 20 MW/EF — Frontier: %.1f GF/W, %.1f MW/EF\n",
+		power.Efficiency(frontier.HPLSpec.HPLRmax(n), fw)/1e9,
+		power.MWPerExaflop(frontier.HPLSpec.HPLRmax(n), fw))
+}

@@ -1,0 +1,55 @@
+// Command gpcnet runs the GPCNeT-style congestion benchmark of Table 5
+// on the simulated Slingshot fabric: 80% of the nodes run adversarial
+// congestors while 20% measure latency, bandwidth and allreduce.
+//
+// Usage:
+//
+//	gpcnet [-nodes N] [-ppn P] [-cc=false]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"frontiersim/internal/fabric"
+	"frontiersim/internal/network"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 9400, "participating nodes")
+	ppn := flag.Int("ppn", 8, "processes per node")
+	cc := flag.Bool("cc", true, "hardware congestion control enabled")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	f, err := fabric.NewDragonfly(fabric.FrontierConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpcnet:", err)
+		os.Exit(1)
+	}
+	cfg := network.DefaultGPCNeTConfig()
+	cfg.Nodes = *nodes
+	cfg.PPN = *ppn
+	cfg.CongestionControl = *cc
+	res, err := network.RunGPCNeT(f, cfg, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpcnet:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("GPCNeT on %d nodes, %d PPN, congestion control %v\n\n", *nodes, *ppn, *cc)
+	fmt.Printf("%-32s %10s %10s\n", "test", "isolated", "congested")
+	row := func(name, iso, con string) { fmt.Printf("%-32s %10s %10s\n", name, iso, con) }
+	us := func(s float64) string { return fmt.Sprintf("%.1fus", s*1e6) }
+	mib := func(b float64) string { return fmt.Sprintf("%.0f", b/(1<<20)) }
+	i, c := res.Isolated, res.Congested
+	row("RR two-sided lat avg", us(float64(i.Latency.Average)), us(float64(c.Latency.Average)))
+	row("RR two-sided lat 99%", us(float64(i.Latency.P99)), us(float64(c.Latency.P99)))
+	row("RR BW+Sync avg (MiB/s/rank)", mib(float64(i.Bandwidth.Average)), mib(float64(c.Bandwidth.Average)))
+	row("RR BW+Sync 99% (MiB/s/rank)", mib(float64(i.Bandwidth.P99)), mib(float64(c.Bandwidth.P99)))
+	row("Multiple allreduce avg", us(float64(i.Allreduce.Average)), us(float64(c.Allreduce.Average)))
+	row("Multiple allreduce 99%", us(float64(i.Allreduce.P99)), us(float64(c.Allreduce.P99)))
+	fmt.Printf("\nimpact factors: bandwidth %.2fx, latency %.2fx, allreduce %.2fx\n",
+		res.BandwidthImpact, res.LatencyImpact, res.AllreduceImpact)
+}

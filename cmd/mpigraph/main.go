@@ -1,0 +1,67 @@
+// Command mpigraph runs the mpiGraph-style pairwise bandwidth census of
+// Figure 6 on a simulated fabric and prints the receive-bandwidth
+// histogram.
+//
+// Usage:
+//
+//	mpigraph -fabric frontier|summit [-nodes N] [-shifts S] [-bins B]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"frontiersim/internal/fabric"
+	"frontiersim/internal/network"
+)
+
+func main() {
+	fab := flag.String("fabric", "frontier", "fabric: frontier (dragonfly) or summit (fat tree)")
+	nodes := flag.Int("nodes", 0, "participating nodes (0 = all)")
+	shifts := flag.Int("shifts", 8, "shift permutations to sample")
+	bins := flag.Int("bins", 20, "histogram bins")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var f *fabric.Fabric
+	var err error
+	cfg := network.DefaultMpiGraphConfig()
+	switch *fab {
+	case "frontier":
+		f, err = fabric.NewDragonfly(fabric.FrontierConfig())
+	case "summit":
+		f, err = fabric.NewClos(fabric.SummitClosConfig())
+		cfg.RanksPerNode = 1
+	default:
+		fmt.Fprintf(os.Stderr, "mpigraph: unknown fabric %q\n", *fab)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpigraph:", err)
+		os.Exit(1)
+	}
+	cfg.Nodes = *nodes
+	cfg.Shifts = *shifts
+	res, err := network.RunMpiGraph(f, cfg, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpigraph:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d samples\n", f, len(res.Samples))
+	fmt.Printf("min %.2f GB/s  median %.2f  mean %.2f  max %.2f  spread %.1fx\n\n",
+		res.Min/1e9, res.Median/1e9, res.Mean/1e9, res.Max/1e9, res.Spread())
+	edges, counts := res.Histogram(*bins)
+	maxCount := 1
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i := range edges {
+		bar := strings.Repeat("#", counts[i]*60/maxCount)
+		fmt.Printf("<= %6.2f GB/s %8d %s\n", edges[i]/1e9, counts[i], bar)
+	}
+}

@@ -1,0 +1,51 @@
+// Command orion-bench exercises the storage models of §4.3: node-local
+// fio runs, Orion streaming by file size, the PFL layout split, and the
+// full-machine checkpoint ingest estimate.
+//
+// Usage:
+//
+//	orion-bench [-nodes N] [-burst BYTES]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"frontiersim/internal/storage"
+	"frontiersim/internal/units"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 9472, "job node count for aggregates")
+	burstTiB := flag.Float64("burst", 700, "checkpoint burst size in TiB")
+	flag.Parse()
+
+	nl := storage.NewNodeLocalStore()
+	fmt.Println("== node-local NVMe (per node, fio) ==")
+	for _, p := range []storage.FioPattern{storage.FioSeqRead, storage.FioSeqWrite, storage.FioRandRead4k} {
+		r := nl.RunFio(p, 100*units.GB)
+		if r.IOPS > 0 {
+			fmt.Printf("%-14s %8.2fM IOPS\n", p, r.IOPS/1e6)
+		} else {
+			fmt.Printf("%-14s %8.1f GB/s\n", p, float64(r.Bandwidth)/1e9)
+		}
+	}
+	agg := nl.Aggregate(*nodes)
+	fmt.Printf("\n== node-local aggregate over %d nodes ==\n", *nodes)
+	fmt.Printf("capacity %s  read %s  write %s  IOPS %.1fB\n\n",
+		agg.Capacity, agg.Read, agg.Write, agg.IOPS/1e9)
+
+	o := storage.NewOrion()
+	fmt.Println("== Orion Lustre ==")
+	fmt.Println(o)
+	fmt.Printf("%-22s %12s %12s\n", "file size", "read", "write")
+	for _, size := range []units.Bytes{128 * units.KB, units.MB, 8 * units.MB, 128 * units.MB, 10 * units.GB} {
+		r := o.StreamBandwidth(size, false)
+		w := o.StreamBandwidth(size, true)
+		fmt.Printf("%-22v %12s %12s\n", size, r, w)
+	}
+	burst := units.Bytes(*burstTiB) * units.TiB
+	fmt.Printf("\ncheckpoint burst %v: ingest in %v\n", burst, o.IngestTime(burst))
+	dom, perf, capT := o.SplitFile(100 * units.MB)
+	fmt.Printf("PFL split of 100 MB file: DoM %v, flash %v, disk %v\n", dom, perf, capT)
+}

@@ -1,0 +1,82 @@
+// Scheduling: drive the Slurm model with a mixed workload under failure
+// injection — small jobs pack into dragonfly groups, the full-system job
+// spreads across all of them, checknode keeps sick nodes out, EASY
+// backfill keeps utilization up, and the fabric manager sweeps up a
+// failed switch mid-run.
+//
+// Run with: go run ./examples/scheduling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"frontiersim/internal/core"
+	"frontiersim/internal/scheduler"
+	"frontiersim/internal/units"
+)
+
+func main() {
+	// A scaled Frontier (12 groups x 16 switches x 8 endpoints = 384
+	// nodes) keeps the run instant while preserving the topology.
+	sys, err := core.NewScaledFrontier(12, 16, 8, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sys)
+	sys.FabricManager.Start(sys.Kernel)
+
+	var completions []string
+	onDone := func(j *scheduler.Job) {
+		completions = append(completions, fmt.Sprintf("%s:%v", j.Name, j.State))
+	}
+
+	// Small jobs: should pack into single groups.
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("small-%d", i)
+		j, err := sys.Scheduler.Submit(name, 16, 2*units.Hour, onDone)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s %3d nodes -> %d group(s), VNI %d\n",
+			name, j.Nodes, j.GroupsSpanned(sys.Fabric), j.VNI)
+	}
+	// A full-system job: queued behind the small ones, spreads wide.
+	big, err := sys.Scheduler.Submit("hero", 384, 4*units.Hour, onDone)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A backfill candidate that fits in the gap before the hero job.
+	filler, err := sys.Scheduler.Submit("filler", 64, 1*units.Hour, onDone)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhero job state at submit: %v; filler: %v (EASY backfill)\n", big.State, filler.State)
+
+	// Inject a node failure at t+30min and a switch failure at t+1h.
+	sys.Kernel.After(30*units.Minute, func() {
+		victim := 100
+		fmt.Printf("[t=%v] node %d fails checknode\n", sys.Kernel.Now(), victim)
+		sys.Scheduler.MarkUnhealthy(victim)
+		sys.Kernel.After(1*units.Hour, func() {
+			fmt.Printf("[t=%v] node %d repaired\n", sys.Kernel.Now(), victim)
+			sys.Scheduler.MarkHealthy(victim)
+		})
+	})
+	sys.Kernel.After(1*units.Hour, func() {
+		sw := 40
+		fmt.Printf("[t=%v] switch %d fails; the next sweep reroutes around it\n", sys.Kernel.Now(), sw)
+		sys.Fabric.FailSwitch(sw)
+	})
+
+	sys.Kernel.RunUntil(12 * units.Hour)
+
+	fmt.Printf("\nafter 12 simulated hours:\n")
+	fmt.Printf("  jobs started   %d\n", sys.Scheduler.Started)
+	fmt.Printf("  jobs finished  %d (failed: %d)\n", sys.Scheduler.Finished, sys.Scheduler.FailedJobs)
+	fmt.Printf("  completions    %v\n", completions)
+	fmt.Printf("  hero job       %v (spanned %d groups)\n", big.State, big.GroupsSpanned(sys.Fabric))
+	fmt.Printf("  fabric epochs  %d (routes pushed to %d switches)\n",
+		sys.FabricManager.Epoch, sys.FabricManager.RoutesPushed)
+	fmt.Printf("  free nodes     %d\n", sys.Scheduler.FreeNodes())
+}

@@ -1,0 +1,3 @@
+module frontiersim
+
+go 1.22

@@ -1,0 +1,22 @@
+package apps_test
+
+import (
+	"fmt"
+
+	"frontiersim/internal/apps"
+)
+
+// Reproduce one Table 6 row: Cholla's 20x over Summit.
+func ExampleSpeedup() {
+	s, frontier, summit, err := apps.Speedup(apps.NewCholla())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Cholla: %.1fx (target %gx)\n", s, apps.NewCholla().TargetSpeedup())
+	fmt.Println("frontier nodes:", frontier.Nodes)
+	fmt.Println("summit nodes:", summit.Nodes)
+	// Output:
+	// Cholla: 20.0x (target 4x)
+	// frontier nodes: 9472
+	// summit nodes: 4608
+}

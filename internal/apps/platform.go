@@ -1,0 +1,223 @@
+// Package apps implements proxy models of the CAAR and ECP applications
+// the paper evaluates (Tables 6 and 7): each application is decomposed
+// into its dominant resource class (dense FP64/FP32/FP16 compute, memory
+// bandwidth, all-to-all, halo exchange, Monte-Carlo transport), executed
+// against a platform's hardware model and communicator, and multiplied by
+// the software-improvement factors the paper itself attributes to each
+// port. The hardware ratios are computed; the software factors are
+// documented inputs, never outputs.
+package apps
+
+import (
+	"fmt"
+	"sync"
+
+	"frontiersim/internal/fabric"
+	"frontiersim/internal/mpi"
+	"frontiersim/internal/units"
+)
+
+// Platform describes one machine as the application models see it.
+type Platform struct {
+	Name  string
+	Year  int
+	Nodes int
+	// DevicesPerNode is the accelerator count (GCDs on Frontier, GPUs
+	// on Summit/Titan, the CPU itself on Mira/Theta/Cori).
+	DevicesPerNode int
+	// Achieved dense throughput per device by precision (measured
+	// GEMM-class rates, not marketing peaks).
+	FP64Dense units.Flops
+	FP32Dense units.Flops
+	FP16Dense units.Flops
+	// MemBW is the achieved STREAM-class bandwidth per device.
+	MemBW units.BytesPerSecond
+	// MemCap is usable memory per device.
+	MemCap units.Bytes
+	// GPUDirect reports whether the network can DMA device memory
+	// directly; when false, transfers stage through the host at
+	// HostStagingBW (per node).
+	GPUDirect     bool
+	HostStagingBW units.BytesPerSecond
+
+	newFabric func() (*fabric.Fabric, error)
+	fabOnce   sync.Once
+	fab       *fabric.Fabric
+	fabErr    error
+}
+
+// Fabric lazily builds and caches the platform's network.
+func (p *Platform) Fabric() (*fabric.Fabric, error) {
+	p.fabOnce.Do(func() { p.fab, p.fabErr = p.newFabric() })
+	return p.fab, p.fabErr
+}
+
+// Comm builds a communicator over n nodes spread evenly across the
+// machine (large-job placement) with the given ranks per node.
+func (p *Platform) Comm(n, ppn int) (*mpi.Comm, error) {
+	f, err := p.Fabric()
+	if err != nil {
+		return nil, err
+	}
+	total := f.Cfg.ComputeNodes()
+	if n > total {
+		return nil, fmt.Errorf("apps: %d nodes exceeds %s's %d", n, p.Name, total)
+	}
+	nodes := make([]int, n)
+	for i := range nodes {
+		nodes[i] = i * total / n
+	}
+	return mpi.NewComm(f, nodes, ppn)
+}
+
+// Devices returns the device count for an n-node job.
+func (p *Platform) Devices(n int) float64 { return float64(n * p.DevicesPerNode) }
+
+// NodeMemBW is the per-node aggregate achieved memory bandwidth.
+func (p *Platform) NodeMemBW() units.BytesPerSecond {
+	return p.MemBW * units.BytesPerSecond(p.DevicesPerNode)
+}
+
+// clos is a helper for baseline fabrics.
+func clos(name string, leaves, perLeaf, nicsPerNode int, rate units.BytesPerSecond, eff float64) func() (*fabric.Fabric, error) {
+	return func() (*fabric.Fabric, error) {
+		return fabric.NewClos(fabric.ClosConfig{
+			Name:               name,
+			Leaves:             leaves,
+			EndpointsPerLeaf:   perLeaf,
+			NICsPerNode:        nicsPerNode,
+			LinkRate:           rate,
+			EndpointEfficiency: eff,
+			SwitchLatency:      400 * units.Nanosecond,
+			EndpointLatency:    1200 * units.Nanosecond,
+		})
+	}
+}
+
+// Frontier returns the target platform: achieved per-GCD rates from the
+// paper's own micro-benchmarks (Fig. 3 GEMM, Table 4 STREAM).
+func Frontier() *Platform {
+	return &Platform{
+		Name:           "frontier",
+		Year:           2022,
+		Nodes:          9472,
+		DevicesPerNode: 8,
+		FP64Dense:      33.8 * units.TeraFlops,
+		FP32Dense:      24.1 * units.TeraFlops,
+		FP16Dense:      111.2 * units.TeraFlops,
+		MemBW:          1337 * units.GBps,
+		MemCap:         64 * units.GiB,
+		GPUDirect:      true,
+		newFabric:      func() (*fabric.Fabric, error) { return fabric.NewDragonfly(fabric.FrontierConfig()) },
+	}
+}
+
+// Summit is the CAAR baseline: 4,608 nodes of 6 V100s on dual-rail EDR.
+// The 2019-era software stack staged large GPU messages through the host
+// at ~10.5 GB/s per node (the GESTS baseline's asynchronous pipeline).
+func Summit() *Platform {
+	return &Platform{
+		Name:           "summit",
+		Year:           2018,
+		Nodes:          4608,
+		DevicesPerNode: 6,
+		FP64Dense:      6.7 * units.TeraFlops,  // 86% of V100's 7.8 peak
+		FP32Dense:      13.5 * units.TeraFlops, // 86% of 15.7
+		FP16Dense:      95 * units.TeraFlops,   // achieved tensor-core GEMM
+		MemBW:          790 * units.GBps,       // of 900 peak
+		MemCap:         16 * units.GiB,
+		GPUDirect:      false,
+		HostStagingBW:  10.5 * units.GBps,
+		newFabric:      func() (*fabric.Fabric, error) { return fabric.NewClos(fabric.SummitClosConfig()) },
+	}
+}
+
+// Titan: 18,688 nodes, one K20X each, Gemini torus (ExaSMR/WDMApp
+// baseline).
+func Titan() *Platform {
+	return &Platform{
+		Name:           "titan",
+		Year:           2012,
+		Nodes:          18688,
+		DevicesPerNode: 1,
+		FP64Dense:      1.1 * units.TeraFlops,
+		FP32Dense:      2.9 * units.TeraFlops,
+		FP16Dense:      2.9 * units.TeraFlops, // no reduced-precision units
+		MemBW:          180 * units.GBps,
+		MemCap:         6 * units.GiB,
+		GPUDirect:      false,
+		HostStagingBW:  5 * units.GBps,
+		newFabric:      clos("titan-gemini", 584, 32, 1, 8*units.GBps, 0.55),
+	}
+}
+
+// Mira: 49,152 BG/Q nodes (EXAALT baseline). The "device" is the node.
+func Mira() *Platform {
+	return &Platform{
+		Name:           "mira",
+		Year:           2012,
+		Nodes:          49152,
+		DevicesPerNode: 1,
+		FP64Dense:      0.17 * units.TeraFlops, // of 204.8 GF peak
+		FP32Dense:      0.17 * units.TeraFlops,
+		FP16Dense:      0.17 * units.TeraFlops,
+		MemBW:          28 * units.GBps,
+		MemCap:         16 * units.GiB,
+		GPUDirect:      true, // no accelerator: no staging penalty
+		newFabric:      clos("mira-5dtorus", 1024, 48, 1, 10*units.GBps, 0.6),
+	}
+}
+
+// Theta: 4,392 KNL nodes (ExaSky baseline). HACC's compute kernels
+// achieved a famously low fraction of KNL peak next to its GPU ports.
+func Theta() *Platform {
+	return &Platform{
+		Name:           "theta",
+		Year:           2017,
+		Nodes:          4392,
+		DevicesPerNode: 1,
+		FP64Dense:      1.6 * units.TeraFlops,
+		FP32Dense:      2.2 * units.TeraFlops,
+		FP16Dense:      2.2 * units.TeraFlops,
+		MemBW:          380 * units.GBps, // MCDRAM achieved
+		MemCap:         16 * units.GiB,
+		GPUDirect:      true,
+		newFabric:      clos("theta-aries", 122, 36, 1, 10*units.GBps, 0.8),
+	}
+}
+
+// Cori: 9,688 KNL nodes (WarpX baseline).
+func Cori() *Platform {
+	return &Platform{
+		Name:           "cori",
+		Year:           2016,
+		Nodes:          9688,
+		DevicesPerNode: 1,
+		FP64Dense:      1.7 * units.TeraFlops,
+		FP32Dense:      2.4 * units.TeraFlops,
+		FP16Dense:      2.4 * units.TeraFlops,
+		MemBW:          390 * units.GBps,
+		MemCap:         16 * units.GiB,
+		GPUDirect:      true,
+		newFabric:      clos("cori-aries", 270, 36, 1, 10*units.GBps, 0.8),
+	}
+}
+
+// ByName resolves a platform by its name.
+func ByName(name string) (*Platform, error) {
+	switch name {
+	case "frontier":
+		return Frontier(), nil
+	case "summit":
+		return Summit(), nil
+	case "titan":
+		return Titan(), nil
+	case "mira":
+		return Mira(), nil
+	case "theta":
+		return Theta(), nil
+	case "cori":
+		return Cori(), nil
+	}
+	return nil, fmt.Errorf("apps: unknown platform %q", name)
+}

@@ -1,0 +1,47 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ScalingPoint is one node count of a scaling study.
+type ScalingPoint struct {
+	Nodes int
+	FOM   float64
+	// Efficiency is FOM per node relative to the smallest run:
+	// 1.0 is ideal scaling, <1 means communication (or other shared
+	// resources) is eating the growth.
+	Efficiency float64
+}
+
+// Scaling runs the app across node counts on one platform and reports
+// the scaling curve. Embarrassingly parallel apps (EXAALT) hold
+// efficiency ~1.0; all-to-all-bound apps (GESTS) fall off as the job
+// spills out of the NIC-bound regime into the tapered global fabric —
+// the crossover the dragonfly design trades against cost.
+func Scaling(app App, p *Platform, nodeCounts []int) ([]ScalingPoint, error) {
+	if len(nodeCounts) == 0 {
+		return nil, fmt.Errorf("apps: scaling needs node counts")
+	}
+	counts := append([]int(nil), nodeCounts...)
+	sort.Ints(counts)
+	out := make([]ScalingPoint, 0, len(counts))
+	var basePerNode float64
+	for _, n := range counts {
+		r, err := app.Run(p, n)
+		if err != nil {
+			return nil, fmt.Errorf("apps: %s at %d nodes: %w", app.Name(), n, err)
+		}
+		perNode := r.FOM / float64(r.Nodes)
+		if basePerNode == 0 {
+			basePerNode = perNode
+		}
+		out = append(out, ScalingPoint{
+			Nodes:      r.Nodes,
+			FOM:        r.FOM,
+			Efficiency: perNode / basePerNode,
+		})
+	}
+	return out, nil
+}

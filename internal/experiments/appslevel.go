@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"fmt"
+
+	"frontiersim/internal/apps"
+	"frontiersim/internal/report"
+)
+
+func appTable(id, title string, list []apps.App) (*report.Table, error) {
+	t := &report.Table{ID: id, Title: title}
+	for _, app := range list {
+		s, fr, br, err := apps.Speedup(app)
+		if err != nil {
+			return nil, err
+		}
+		note := fmt.Sprintf("target %gx vs %s; frontier FOM %.4g %s",
+			app.TargetSpeedup(), app.BaselineName(), fr.FOM, fr.Unit)
+		if fr.Notes != "" {
+			note += "; " + fr.Notes
+		}
+		_ = br
+		t.Add(app.Name(), fmt.Sprintf("%.1fx", app.PaperSpeedup()), fmt.Sprintf("%.2fx", s),
+			app.PaperSpeedup(), s, note)
+	}
+	return t, nil
+}
+
+// Table6 reproduces the CAAR/INCITE speedups over Summit.
+func Table6(o Options) (*report.Table, error) {
+	return appTable("table6", "CAAR and INCITE application speedups (KPP 4x over Summit)", apps.CAARApps())
+}
+
+// Table7 reproduces the ECP speedups over the petascale baselines.
+func Table7(o Options) (*report.Table, error) {
+	return appTable("table7", "ECP application speedups (KPP 50x over ~20 PF systems)", apps.ECPApps())
+}

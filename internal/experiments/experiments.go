@@ -1,0 +1,85 @@
+// Package experiments maps every table and figure in the paper's
+// evaluation to a runnable reproduction: each experiment builds the
+// simulated machine, runs the corresponding benchmark model, and returns
+// a paper-vs-measured report table. The registry drives both the
+// frontier-sim CLI and the root-level benchmark suite.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+import "frontiersim/internal/report"
+
+// Options tunes experiment execution.
+type Options struct {
+	// Quick trades sampling depth for speed (used by tests); the full
+	// runs are what EXPERIMENTS.md records.
+	Quick bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultOptions returns the configuration used for the recorded runs.
+func DefaultOptions() Options { return Options{Seed: 42} }
+
+// Runner executes one experiment.
+type Runner struct {
+	ID          string
+	Description string
+	Run         func(Options) (*report.Table, error)
+}
+
+// Registry returns all experiments in paper order.
+func Registry() []Runner {
+	return []Runner{
+		{"table1", "Frontier compute peak specifications", Table1},
+		{"table2", "I/O subsystem capacities and bandwidths", Table2},
+		{"table3", "CPU STREAM, temporal vs non-temporal stores", Table3},
+		{"fig3", "CoralGemm achieved vs peak per precision", Fig3},
+		{"table4", "GPU STREAM bandwidth", Table4},
+		{"fig4", "Aggregate CPU-to-GCD bandwidth, 8 ranks", Fig4},
+		{"fig5", "GCD-to-GCD bandwidth: CU kernels vs SDMA", Fig5},
+		{"fig6", "mpiGraph per-NIC bandwidth census (Frontier vs Summit)", Fig6},
+		{"table5", "GPCNeT congestion benchmark at 8 PPN", Table5},
+		{"sec431", "Node-local storage (fio)", Sec431},
+		{"sec432", "Orion Lustre streaming and ingest", Sec432},
+		{"table6", "CAAR and INCITE application speedups vs Summit", Table6},
+		{"table7", "ECP application speedups", Table7},
+		{"sec51", "Energy and power (HPL, Green500)", Sec51},
+		{"sec54", "Resiliency (MTTI, contributors, checkpointing)", Sec54},
+		{"ablation-taper", "Ablation: dragonfly global-bundle taper sweep", AblationTaper},
+		{"ablation-nps", "Ablation: NPS-1 vs NPS-4 memory interleaving", AblationNPS},
+		{"ablation-routing", "Ablation: minimal-only vs adaptive routing", AblationRouting},
+		{"ablation-cc", "Ablation: congestion control off (GPCNeT)", AblationCC},
+		{"ablation-placement", "Ablation: scheduler pack vs spread placement", AblationPlacement},
+		{"ablation-checkpoint", "Extension: checkpoint interval vs MTTI (Daly)", AblationCheckpoint},
+		{"ablation-ppn", "Ablation: GPCNeT at 32 PPN (CC protection erodes)", AblationPPN},
+		{"ext-burstbuffer", "Extension: node-local burst buffer use cases", ExtBurstBuffer},
+		{"ext-sysmgmt", "Extension: HPCM boot, CTDB failover, discovery", ExtSysmgmt},
+		{"ext-operations", "Extension: a simulated week of operations", ExtOperations},
+		{"ext-inventory", "Extension: dragonfly vs Clos ports and cables", ExtInventory},
+		{"ext-miniapps", "Extension: real kernels validated + roofline-predicted", ExtMiniapps},
+	}
+}
+
+// ByID resolves one experiment.
+func ByID(id string) (Runner, error) {
+	for _, r := range Registry() {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	return Runner{}, fmt.Errorf("experiments: unknown id %q (try 'list')", id)
+}
+
+// IDs returns the sorted experiment ids.
+func IDs() []string {
+	var ids []string
+	for _, r := range Registry() {
+		ids = append(ids, r.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"frontiersim/internal/core"
+	"frontiersim/internal/fabric"
+	"frontiersim/internal/gpu"
+	"frontiersim/internal/miniapps"
+	"frontiersim/internal/network"
+	"frontiersim/internal/report"
+	"frontiersim/internal/sim"
+	"frontiersim/internal/storage"
+	"frontiersim/internal/sysmgmt"
+	"frontiersim/internal/units"
+	"frontiersim/internal/workload"
+)
+
+// AblationPPN reruns GPCNeT at 32 processes per node, where the paper
+// reports congestion-control protection eroding: average impacts of
+// 1.2-1.6x and tails of 1.8-7.6x, versus the ideal 1.0x at 8 PPN.
+func AblationPPN(o Options) (*report.Table, error) {
+	f, err := fabric.NewDragonfly(fabric.FrontierConfig())
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{ID: "ablation-ppn", Title: "GPCNeT at 8 vs 32 processes per node"}
+	for _, ppn := range []int{8, 32} {
+		cfg := network.DefaultGPCNeTConfig()
+		cfg.PPN = ppn
+		if o.Quick {
+			cfg.LatencySamples = 600
+		}
+		res, err := network.RunGPCNeT(f, cfg, rand.New(rand.NewSource(o.Seed)))
+		if err != nil {
+			return nil, err
+		}
+		paper := "1.0x"
+		pv := 1.0
+		note := "the expected production use case"
+		if ppn == 32 {
+			paper = "1.2-1.6x avg"
+			pv = 1.4
+			note = "CC protection erodes past the 8-rank design point"
+		}
+		t.Add(fmt.Sprintf("%d PPN", ppn), paper,
+			fmt.Sprintf("BW impact %.2fx (99%%: iso %.0f vs cong %.0f MiB/s)",
+				res.BandwidthImpact,
+				float64(res.Isolated.Bandwidth.P99)/(1<<20),
+				float64(res.Congested.Bandwidth.P99)/(1<<20)),
+			pv, res.BandwidthImpact, note)
+	}
+	return t, nil
+}
+
+// ExtBurstBuffer exercises the node-local storage use cases of §3.3:
+// write caching for simulation checkpoints and read caching for ML
+// training sets.
+func ExtBurstBuffer(o Options) (*report.Table, error) {
+	t := &report.Table{ID: "ext-burstbuffer", Title: "Node-local burst buffer use cases (§3.3)"}
+	bb := storage.NewBurstBuffer(9472)
+	size := 700 * units.TiB
+	absorb, drain, err := bb.CheckpointWrite(size)
+	if err != nil {
+		return nil, err
+	}
+	t.AddInfo("checkpoint absorb (NVMe)", fmt.Sprintf("%v", absorb), "application-visible stall")
+	t.AddInfo("background drain to Orion", fmt.Sprintf("%v", drain), "overlaps computation")
+	t.AddInfo("stall reduction vs direct PFS", fmt.Sprintf("%.1fx", bb.CheckpointSpeedup(size)), "")
+
+	ml := storage.NewBurstBuffer(1000)
+	dataset := 1 * units.PB
+	cold, err := ml.EpochRead(dataset, 1)
+	if err != nil {
+		return nil, err
+	}
+	warm, err := ml.EpochRead(dataset, 2)
+	if err != nil {
+		return nil, err
+	}
+	t.AddInfo("ML epoch 1 (cold, via Orion)", fmt.Sprintf("%v", cold), "1 PB dataset on 1,000 nodes")
+	t.AddInfo("ML epoch 2+ (warm, via NVMe)", fmt.Sprintf("%v", warm),
+		fmt.Sprintf("%.1fx faster per epoch", ml.TrainingSpeedup(dataset)))
+	return t, nil
+}
+
+// ExtSysmgmt exercises the HPCM management-plane model of §3.4.2:
+// scalable boot and transparent leader failover.
+func ExtSysmgmt(o Options) (*report.Table, error) {
+	k := sim.NewKernel(o.Seed)
+	h, err := sysmgmt.New(k, sysmgmt.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{ID: "ext-sysmgmt", Title: "HPCM management plane (§3.4.2)"}
+	t.AddInfo("plane", h.String(), "1 admin + 21 leaders + 12 DVS + 2 slurmctl")
+	t.AddInfo("full-machine boot", fmt.Sprintf("%v", h.BootTime(9472)), "Gluster image streaming in waves")
+	leader, err := h.LeaderFor(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.FailLeader(leader.ID); err != nil {
+		return nil, err
+	}
+	takeover, err := h.LeaderFor(0)
+	if err != nil {
+		return nil, err
+	}
+	t.AddInfo("leader failover", fmt.Sprintf("leader %d -> leader %d, %d VIP moves", leader.ID, takeover.ID, h.Failovers),
+		"CTDB virtual IP takeover; clients unaffected")
+	h.RestoreLeader(leader.ID)
+	// Discovery daemon notices a blade swap without intervention.
+	state := map[string]string{"chassis-17-blade-2": "present"}
+	h.StartDiscovery(func() map[string]string { return state })
+	k.RunUntil(90)
+	state["chassis-17-blade-2"] = "replaced"
+	k.RunUntil(200)
+	h.StopDiscovery()
+	t.AddInfo("hardware discovery", fmt.Sprintf("%d changes recorded automatically", h.Discoveries), "periodic chassis sweep")
+	return t, nil
+}
+
+// ExtOperations simulates a week of leadership-facility operations on the
+// full machine: a synthetic INCITE-style job mix over the Slurm model
+// with the reliability model injecting failures, reporting utilization,
+// queue waits, and observed MTTI.
+func ExtOperations(o Options) (*report.Table, error) {
+	sys, err := core.NewFrontier(o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := workload.DefaultConfig()
+	if o.Quick {
+		cfg.Duration = 2 * units.Day
+	}
+	stats, err := workload.Run(sys, cfg, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{ID: "ext-operations", Title: "A simulated week of Frontier operations"}
+	t.AddInfo("window", fmt.Sprintf("%v", cfg.Duration), "synthetic leadership job mix")
+	t.AddInfo("jobs submitted", fmt.Sprintf("%d", stats.Submitted),
+		fmt.Sprintf("debug %d, midsize %d, capability %d, hero %d",
+			stats.ByClass["debug"], stats.ByClass["midsize"], stats.ByClass["capability"], stats.ByClass["hero"]))
+	t.AddInfo("jobs completed / failed", fmt.Sprintf("%d / %d", stats.Completed, stats.Failed), "")
+	t.AddInfo("machine utilization", fmt.Sprintf("%.1f%%", stats.Utilization*100), "")
+	t.AddInfo("avg / max queue wait", fmt.Sprintf("%v / %v", stats.AvgWait, stats.MaxWait), "")
+	t.AddInfo("interrupting failures", fmt.Sprintf("%d (MTTI %v)", stats.NodeFailures, stats.MeasuredMTTI),
+		"nodes repaired after 4 h; checknode gates re-entry")
+	t.AddInfo("jobs killed by failures", fmt.Sprintf("%d", stats.JobInterrupts), "")
+	return t, nil
+}
+
+// ExtInventory reproduces §4.2.2's plant accounting: the dragonfly
+// halves switch ports and inter-switch cables against a non-blocking
+// Clos for the same endpoints — the trade that funds the fat nodes.
+func ExtInventory(o Options) (*report.Table, error) {
+	f, err := fabric.NewDragonfly(fabric.FrontierConfig())
+	if err != nil {
+		return nil, err
+	}
+	df := f.CountInventory()
+	clos := fabric.EquivalentClosInventory(f.NumEndpoints)
+	ports, cables := f.DragonflyVsClos()
+	t := &report.Table{ID: "ext-inventory", Title: "Dragonfly vs Clos physical plant (§4.2.2)"}
+	t.AddInfo("dragonfly", df.String(), "as built: 80 groups")
+	t.AddInfo("equivalent clos", clos.String(), "3-level non-blocking fat tree, 64-port ASICs")
+	t.Add("switch-port fraction", "~50%", fmt.Sprintf("%.0f%%", ports*100), 0.5, ports, "")
+	t.Add("inter-switch cable fraction", "~50%", fmt.Sprintf("%.0f%%", cables*100), 0.5, cables, "")
+	t.AddInfo("the price", "57% global taper + non-minimal routing", "Figure 6's wide distribution")
+	return t, nil
+}
+
+// ExtMiniapps runs the real numerical kernels at laptop scale, validates
+// them against analytic results, and prints the roofline predictions
+// their measured work implies for one MI250X GCD — the calibration loop
+// behind the application proxies' constants.
+func ExtMiniapps(o Options) (*report.Table, error) {
+	t := &report.Table{ID: "ext-miniapps", Title: "Real kernels: validation + roofline predictions"}
+	g := gpu.NewMI250XGCD()
+
+	// Stencil (AthenaPK/Cholla class): validate decay, predict a step.
+	heat, err := miniapps.NewHeat3D(16)
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < 50; s++ {
+		heat.Step()
+	}
+	errAmp := heat.Amplitude() - heat.ExpectedAmplitude()
+	t.AddInfo("heat3d 16^3 x50 steps", fmt.Sprintf("abs error %.2e vs analytic decay", math.Abs(errAmp)), "validated")
+	heat.N = 512
+	d, err := heat.PredictStepTime(g)
+	if err != nil {
+		return nil, err
+	}
+	t.AddInfo("heat3d 512^3 on one GCD", fmt.Sprintf("%v per step (bandwidth bound)", d), "roofline")
+
+	// FFT (GESTS class): validate Parseval, count traffic.
+	vol, err := miniapps.NewFFT3D(16)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	var before float64
+	for i := range vol.Data {
+		vol.Data[i] = complex(rng.NormFloat64(), 0)
+		before += real(vol.Data[i]) * real(vol.Data[i])
+	}
+	if err := vol.Transform(false); err != nil {
+		return nil, err
+	}
+	var after float64
+	for i := range vol.Data {
+		re, im := real(vol.Data[i]), imag(vol.Data[i])
+		after += re*re + im*im
+	}
+	t.AddInfo("fft3d 16^3", fmt.Sprintf("Parseval error %.2e", math.Abs(after/4096-before)/before), "validated")
+	passes := float64(miniapps.FFT3DTraffic(1024)) / (16 * 1024 * 1024 * 1024)
+	t.AddInfo("fft3d traffic", fmt.Sprintf("%.0f volume passes per transform", passes),
+		"the GESTS proxy's per-step pass count, measured")
+
+	// N-body (HACC class): validate energy conservation, predict sweep.
+	nb, err := miniapps.NewNBody(64, rng)
+	if err != nil {
+		return nil, err
+	}
+	e0 := nb.Energy()
+	for s := 0; s < 100; s++ {
+		nb.Step()
+	}
+	drift := math.Abs(nb.Energy()-e0) / math.Abs(e0)
+	t.AddInfo("nbody 64 x100 steps", fmt.Sprintf("energy drift %.2e", drift), "validated (leapfrog)")
+	nb.N = 1 << 20
+	fd, err := nb.PredictForceTime(g)
+	if err != nil {
+		return nil, err
+	}
+	t.AddInfo("nbody 2^20 on one GCD", fmt.Sprintf("%v per force sweep (compute bound, FP32)", fd), "roofline")
+
+	// GEMM (CoralGemm/CoMet/LSMS class): validate blocking, predict the
+	// Fig. 3 rate.
+	gm, err := miniapps.NewGEMM(48, 16, rng)
+	if err != nil {
+		return nil, err
+	}
+	naive, blocked := gm.Naive(), gm.Blocked()
+	worst := 0.0
+	for i := range naive {
+		if d := math.Abs(naive[i] - blocked[i]); d > worst {
+			worst = d
+		}
+	}
+	t.AddInfo("gemm 48x48 blocked vs naive", fmt.Sprintf("max abs diff %.2e", worst), "validated")
+	rate, err := g.KernelRate(miniapps.GEMMKernel(16384))
+	if err != nil {
+		return nil, err
+	}
+	t.AddInfo("dgemm 16384 on one GCD", fmt.Sprintf("%.1f TF/s", float64(rate)/1e12),
+		"roofline; Fig. 3 measures 33.8")
+	return t, nil
+}

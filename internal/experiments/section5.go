@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"frontiersim/internal/hpl"
+	"frontiersim/internal/power"
+	"frontiersim/internal/report"
+	"frontiersim/internal/resilience"
+	"frontiersim/internal/units"
+)
+
+// Sec51 reproduces the energy/power discussion: Frontier debuted #1 on
+// both TOP500 and Green500.
+func Sec51(o Options) (*report.Table, error) {
+	spec := hpl.FrontierSpec()
+	pw := power.Frontier()
+	t := &report.Table{ID: "sec51", Title: "Energy and power (§5.1)"}
+	rmax := float64(spec.HPLRmax(spec.Nodes)) / 1e18
+	t.Add("HPL Rmax", "1.1 EF", fmt.Sprintf("%.2f EF", rmax), 1.1, rmax, "June 2022 TOP500 #1")
+	watts := pw.SystemHPL(pw.Nodes)
+	mw := float64(watts) / 1e6
+	t.Add("HPL power", "21.1 MW", fmt.Sprintf("%.1f MW", mw), 21.1, mw, "")
+	gfw := power.Efficiency(units.Flops(rmax*1e18), watts) / 1e9
+	t.Add("efficiency", "52 GF/W", fmt.Sprintf("%.1f GF/W", gfw), 52, gfw, "Green500 #1; report's target was 50")
+	mwef := power.MWPerExaflop(units.Flops(rmax*1e18), watts)
+	t.Add("MW per EF", "<20 MW/EF", fmt.Sprintf("%.1f MW/EF", mwef), 19.2, mwef, "2008 report ceiling: 20")
+	hpcg := float64(spec.HPCG(spec.Nodes)) / 1e15
+	t.Add("HPCG", "~14 PF", fmt.Sprintf("%.1f PF", hpcg), 14, hpcg, "bandwidth-bound; [38]'s preferred metric")
+	t.AddInfo("HPL problem size", fmt.Sprintf("N = %.1fM", float64(spec.HPLProblemSize(spec.Nodes, 0.85))/1e6), "85% of HBM")
+	t.AddInfo("HPL run time", fmt.Sprintf("%v", spec.HPLRunTime(spec.Nodes, 0.85)), "")
+	return t, nil
+}
+
+// Sec54 reproduces the resiliency analysis: MTTI near the 2008 report's
+// four-hour projection, led by memory and power supplies.
+func Sec54(o Options) (*report.Table, error) {
+	m := resilience.Frontier()
+	t := &report.Table{ID: "sec54", Title: "Resiliency (§5.4)"}
+	mttiH := float64(m.SystemMTTI()) / 3600
+	t.Add("system MTTI (analytic)", "~4 h (report projection)", fmt.Sprintf("%.1f h", mttiH), 4, mttiH,
+		"\"not much better than their projected four-hour target\"")
+
+	horizon := 30 * units.Day
+	if o.Quick {
+		horizon = 10 * units.Day
+	}
+	failures := m.Simulate(horizon, rand.New(rand.NewSource(o.Seed)))
+	measured := float64(resilience.MeasuredMTTI(failures, horizon)) / 3600
+	t.Add("system MTTI (Monte Carlo)", "~4 h", fmt.Sprintf("%.1f h (%d failures / %v)", measured, len(failures), horizon),
+		4, measured, "")
+
+	type share struct {
+		name string
+		frac float64
+	}
+	var shares []share
+	for name, frac := range m.Contribution() {
+		shares = append(shares, share{name, frac})
+	}
+	sort.Slice(shares, func(i, j int) bool { return shares[i].frac > shares[j].frac })
+	for _, s := range shares[:3] {
+		t.AddInfo("contributor: "+s.name, fmt.Sprintf("%.0f%%", s.frac*100), "memory and power supplies lead, as observed")
+	}
+
+	ckpt := resilience.OptimalCheckpointInterval(180, m.SystemMTTI())
+	t.AddInfo("optimal checkpoint interval", fmt.Sprintf("%v", ckpt), "Daly, 180 s Orion burst")
+	eff := resilience.CheckpointEfficiency(ckpt, 180, 600, m.SystemMTTI())
+	t.AddInfo("checkpointed utilization", fmt.Sprintf("%.1f%%", eff*100), "")
+	t.AddInfo("terascale-era goal", "8-12 h", "paper expects Frontier to approach this over time")
+	return t, nil
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"frontiersim/internal/report"
+	"frontiersim/internal/storage"
+	"frontiersim/internal/units"
+)
+
+// Table2 reproduces the I/O subsystem specification table.
+func Table2(o Options) (*report.Table, error) {
+	t := &report.Table{ID: "table2", Title: "I/O subsystem capacity and theoretical bandwidths"}
+	nl := storage.NewNodeLocalStore()
+	agg := nl.Aggregate(9472)
+	contractedRead := float64(nl.ContractedRead()) * 9472
+	contractedWrite := float64(nl.ContractedWrite()) * 9472
+	t.Add("Node-local capacity", "32.9 PB", fmt.Sprintf("%.1f PB", float64(agg.Capacity)/1e15),
+		32.9, float64(agg.Capacity)/1e15, "")
+	t.Add("Node-local read", "75.3 TB/s", report.GB(contractedRead), 75.3, contractedRead/1e12, "theoretical")
+	t.Add("Node-local write", "37.6 TB/s", report.GB(contractedWrite), 37.6, contractedWrite/1e12, "theoretical")
+
+	or := storage.NewOrion()
+	md := or.Tiers[storage.MetadataTier]
+	pf := or.Tiers[storage.PerformanceTier]
+	ct := or.Tiers[storage.CapacityTier]
+	t.Add("Orion metadata capacity", "10.0 PB", fmt.Sprintf("%.1f PB", float64(md.Capacity)/1e15), 10, float64(md.Capacity)/1e15, "")
+	t.Add("Orion metadata R/W", "0.8 / 0.4 TB/s",
+		fmt.Sprintf("%.1f / %.1f TB/s", float64(md.Read)/1e12, float64(md.Write)/1e12), 0.8, float64(md.Read)/1e12, "")
+	t.Add("Orion performance capacity", "11.5 PB", fmt.Sprintf("%.1f PB", float64(pf.Capacity)/1e15), 11.5, float64(pf.Capacity)/1e15, "225 SSUs x 24 NVMe, dRAID 4d:2p")
+	t.Add("Orion performance R/W", "10.0 / 10.0 TB/s",
+		fmt.Sprintf("%.1f / %.1f TB/s", float64(pf.Read)/1e12, float64(pf.Write)/1e12), 10, float64(pf.Read)/1e12, "")
+	t.Add("Orion capacity tier", "679.0 PB", fmt.Sprintf("%.0f PB", float64(ct.Capacity)/1e15), 679, float64(ct.Capacity)/1e15, "212 HDDs/SSU, dRAID 8d:2p")
+	t.Add("Orion capacity read", "5.5 TB/s", report.GB(float64(ct.Read)), 5.5, float64(ct.Read)/1e12, "theoretical")
+	t.Add("Orion capacity write", "4.6 TB/s", report.GB(float64(ct.Write)), 4.6, float64(ct.Write)/1e12, "theoretical")
+	return t, nil
+}
+
+// Sec431 reproduces the node-local storage measurements.
+func Sec431(o Options) (*report.Table, error) {
+	nl := storage.NewNodeLocalStore()
+	t := &report.Table{ID: "sec431", Title: "Node-local NVMe, fio measurements per node"}
+	read := nl.RunFio(storage.FioSeqRead, 100*units.GB)
+	write := nl.RunFio(storage.FioSeqWrite, 100*units.GB)
+	iops := nl.RunFio(storage.FioRandRead4k, 10*units.GB)
+	t.Add("seq read", "7.1 GB/s", report.GB(float64(read.Bandwidth)), 7.1, float64(read.Bandwidth)/1e9, "contract: 8 GB/s")
+	t.Add("seq write", "4.2 GB/s", report.GB(float64(write.Bandwidth)), 4.2, float64(write.Bandwidth)/1e9, "contract: 4 GB/s")
+	t.Add("4k random read", "1.58M IOPS", fmt.Sprintf("%.2fM IOPS", iops.IOPS/1e6), 1.58, iops.IOPS/1e6, "contract: 1.6M")
+	agg := nl.Aggregate(9472)
+	t.Add("full-machine read", "67.3 TB/s", report.GB(float64(agg.Read)), 67.3, float64(agg.Read)/1e12, "")
+	t.Add("full-machine write", "39.8 TB/s", report.GB(float64(agg.Write)), 39.8, float64(agg.Write)/1e12, "")
+	t.Add("full-machine IOPS", "~15.0B", fmt.Sprintf("%.1fB", agg.IOPS/1e9), 15.0, agg.IOPS/1e9, "")
+	return t, nil
+}
+
+// Sec432 reproduces the Orion measurements.
+func Sec432(o Options) (*report.Table, error) {
+	or := storage.NewOrion()
+	t := &report.Table{ID: "sec432", Title: "Orion Lustre streaming and burst ingest"}
+	fr := float64(or.StreamBandwidth(8*units.MB, false))
+	fw := float64(or.StreamBandwidth(8*units.MB, true))
+	br := float64(or.StreamBandwidth(100*units.GB, false))
+	bw := float64(or.StreamBandwidth(100*units.GB, true))
+	t.Add("flash-tier read", "11.7 TB/s", report.GB(fr), 11.7, fr/1e12, "files within the flash tier")
+	t.Add("flash-tier write", "9.4 TB/s", report.GB(fw), 9.4, fw/1e12, "")
+	t.Add("large-file read", "4.9 TB/s", report.GB(br), 4.9, br/1e12, "capacity tier")
+	t.Add("large-file write", "4.3 TB/s", report.GB(bw), 4.3, bw/1e12, "")
+	ingest := float64(or.IngestTime(700 * units.TiB))
+	t.Add("ingest 700 TiB (15% of HBM)", "~180 s", fmt.Sprintf("%.0f s", ingest), 180, ingest, "<5% of walltime per hour for I/O")
+	dom, perf, capT := or.SplitFile(100 * units.MB)
+	t.AddInfo("PFL split of a 100 MB file",
+		fmt.Sprintf("DoM %v, flash %v, disk %v", dom, perf, capT),
+		"first 256 KB on metadata, to 8 MB on flash, rest on disk")
+	return t, nil
+}

@@ -1,0 +1,69 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PathSet is the set of routes adaptive routing spreads one traffic pair
+// across: the minimal route plus zero or more Valiant non-minimal routes.
+// Slingshot routes per packet, so at the flow level a pair's traffic
+// occupies all of these paths simultaneously and the bandwidth a pair
+// achieves is the sum over the set.
+type PathSet struct {
+	Src, Dst int
+	Paths    [][]int
+}
+
+// AdaptivePaths builds the path set used by Slingshot's adaptive routing
+// for one endpoint pair: within a group (or on a fat tree) routing is
+// minimal-only; between dragonfly groups the minimal route is supplemented
+// by nValiant Valiant routes through distinct random intermediate groups.
+func (f *Fabric) AdaptivePaths(src, dst, nValiant int, rng *rand.Rand) (PathSet, error) {
+	ps := PathSet{Src: src, Dst: dst}
+	min, minErr := f.MinimalPath(src, dst, rng)
+	if minErr == nil {
+		ps.Paths = append(ps.Paths, min)
+	}
+	if f.Kind == FatTree {
+		if minErr != nil {
+			return ps, minErr
+		}
+		return ps, nil
+	}
+	g1, g2 := f.EndpointGroup(src), f.EndpointGroup(dst)
+	if g1 == g2 || nValiant <= 0 {
+		if minErr != nil {
+			return ps, minErr
+		}
+		return ps, nil
+	}
+	total := f.Cfg.TotalGroups()
+	if total <= 2 {
+		return ps, nil
+	}
+	seen := map[int]bool{g1: true, g2: true}
+	attempts := 0
+	for len(ps.Paths) < 1+nValiant && attempts < 8*nValiant {
+		attempts++
+		via := rng.Intn(total)
+		if seen[via] {
+			continue
+		}
+		// Valiant detours stay on compute groups: service groups are
+		// not used as intermediates for compute traffic.
+		if f.groupClass[via] != ComputeGroup {
+			continue
+		}
+		seen[via] = true
+		p, err := f.ValiantPath(src, dst, via, rng)
+		if err != nil {
+			continue // intermediate group unreachable (failures); try another
+		}
+		ps.Paths = append(ps.Paths, p)
+	}
+	if len(ps.Paths) == 0 {
+		return ps, fmt.Errorf("fabric: no usable path %d->%d", src, dst)
+	}
+	return ps, nil
+}

@@ -1,0 +1,484 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+
+	"frontiersim/internal/units"
+)
+
+// LinkKind classifies a directed link.
+type LinkKind int
+
+// Link kinds.
+const (
+	// Injection is endpoint → switch.
+	Injection LinkKind = iota
+	// Ejection is switch → endpoint.
+	Ejection
+	// Intra is a switch → switch link within a group (an L1 port).
+	Intra
+	// Global is a switch → switch link between groups (an L2 port).
+	Global
+	// Uplink joins a leaf switch to the core of a Clos fabric.
+	Uplink
+	// Downlink joins the Clos core to a leaf switch.
+	Downlink
+)
+
+// String implements fmt.Stringer.
+func (k LinkKind) String() string {
+	switch k {
+	case Injection:
+		return "injection"
+	case Ejection:
+		return "ejection"
+	case Intra:
+		return "intra(L1)"
+	case Global:
+		return "global(L2)"
+	case Uplink:
+		return "uplink"
+	case Downlink:
+		return "downlink"
+	}
+	return fmt.Sprintf("LinkKind(%d)", int(k))
+}
+
+// Link is one directed link.
+type Link struct {
+	ID   int
+	Kind LinkKind
+	// From and To are switch ids for switch-to-switch links. For
+	// Injection, From is an endpoint id; for Ejection, To is an
+	// endpoint id.
+	From, To int
+	// Cap is the usable capacity in bytes/s (line rate for fabric
+	// links; line rate × endpoint efficiency at endpoints).
+	Cap float64
+	// Up is false when the link (or its switch) has failed.
+	Up bool
+}
+
+// Kind identifies the topology family of a built fabric.
+type Kind int
+
+// Fabric kinds.
+const (
+	// Dragonfly is the Slingshot three-hop direct topology.
+	Dragonfly Kind = iota
+	// FatTree is a non-blocking Clos, used to model Summit's EDR fabric.
+	FatTree
+)
+
+// Fabric is a built network: switches, directed links, endpoints, and the
+// indexes routing needs.
+type Fabric struct {
+	Cfg  Config
+	Kind Kind
+
+	// NumSwitches counts switches (plus one virtual core for FatTree).
+	NumSwitches   int
+	SwitchGroup   []int
+	SwitchHealthy []bool
+	groupClass    []GroupClass
+	groupSwitches [][]int
+
+	Links []Link
+	// intraIndex maps (fromSwitch<<32 | toSwitch) to a directed intra-
+	// group link id.
+	intraIndex map[uint64]int
+	// globalPair maps (fromGroup<<32 | toGroup) to the directed global
+	// link ids between the two groups.
+	globalPair map[uint64][]int
+
+	NumEndpoints   int
+	endpointSwitch []int
+	injectLink     []int
+	ejectLink      []int
+
+	// uplink and downlink join each leaf to the core in FatTree fabrics.
+	uplink, downlink []int
+}
+
+// key packs two non-negative ints into a map key.
+func key(a, b int) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
+
+// NewDragonfly builds the dragonfly described by cfg. Groups are laid out
+// compute-first, then I/O, then management; endpoints likewise, so the
+// first Cfg.ComputeEndpoints() endpoints belong to compute nodes
+// (endpoint 4n+i is NIC i of node n).
+func NewDragonfly(cfg Config) (*Fabric, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fabric{
+		Cfg:        cfg,
+		Kind:       Dragonfly,
+		intraIndex: make(map[uint64]int),
+		globalPair: make(map[uint64][]int),
+	}
+	// Groups and switches.
+	for g := 0; g < cfg.TotalGroups(); g++ {
+		class := ComputeGroup
+		switch {
+		case g >= cfg.ComputeGroups+cfg.IOGroups:
+			class = MgmtGroup
+		case g >= cfg.ComputeGroups:
+			class = IOGroup
+		}
+		nsw := cfg.ComputeGroupSwitches
+		if class != ComputeGroup {
+			nsw = cfg.TORGroupSwitches
+		}
+		var ids []int
+		for s := 0; s < nsw; s++ {
+			id := f.NumSwitches
+			f.NumSwitches++
+			f.SwitchGroup = append(f.SwitchGroup, g)
+			f.SwitchHealthy = append(f.SwitchHealthy, true)
+			ids = append(ids, id)
+		}
+		f.groupClass = append(f.groupClass, class)
+		f.groupSwitches = append(f.groupSwitches, ids)
+	}
+	// Endpoints on every switch.
+	epCap := float64(cfg.LinkRate) * cfg.EndpointEfficiency
+	for sw := 0; sw < f.NumSwitches; sw++ {
+		for e := 0; e < cfg.EndpointsPerSwitch; e++ {
+			ep := f.NumEndpoints
+			f.NumEndpoints++
+			f.endpointSwitch = append(f.endpointSwitch, sw)
+			f.injectLink = append(f.injectLink, f.addLink(Injection, ep, sw, epCap))
+			f.ejectLink = append(f.ejectLink, f.addLink(Ejection, sw, ep, epCap))
+		}
+	}
+	// Intra-group: full connectivity.
+	for _, ids := range f.groupSwitches {
+		for i := 0; i < len(ids); i++ {
+			for j := 0; j < len(ids); j++ {
+				if i == j {
+					continue
+				}
+				id := f.addLink(Intra, ids[i], ids[j], float64(cfg.LinkRate))
+				f.intraIndex[key(ids[i], ids[j])] = id
+			}
+		}
+	}
+	// Global links between every group pair, spread across switches.
+	for a := 0; a < cfg.TotalGroups(); a++ {
+		for b := a + 1; b < cfg.TotalGroups(); b++ {
+			n := cfg.globalLinksBetween(f.groupClass[a], f.groupClass[b])
+			for i := 0; i < n; i++ {
+				swa := f.groupSwitches[a][(b*n+i)%len(f.groupSwitches[a])]
+				swb := f.groupSwitches[b][(a*n+i)%len(f.groupSwitches[b])]
+				ab := f.addLink(Global, swa, swb, float64(cfg.LinkRate))
+				ba := f.addLink(Global, swb, swa, float64(cfg.LinkRate))
+				f.globalPair[key(a, b)] = append(f.globalPair[key(a, b)], ab)
+				f.globalPair[key(b, a)] = append(f.globalPair[key(b, a)], ba)
+			}
+		}
+	}
+	return f, nil
+}
+
+// globalLinksBetween returns the link count between groups of the given
+// classes (the paper's bundle plan, §3.2).
+func (c Config) globalLinksBetween(a, b GroupClass) int {
+	switch {
+	case a == ComputeGroup && b == ComputeGroup:
+		return c.ComputeComputeLinks
+	case (a == ComputeGroup && b == IOGroup) || (a == IOGroup && b == ComputeGroup):
+		return c.ComputeIOLinks
+	case (a == ComputeGroup && b == MgmtGroup) || (a == MgmtGroup && b == ComputeGroup):
+		return c.ComputeMgmtLinks
+	case a == IOGroup && b == IOGroup:
+		return c.IOIOLinks
+	default: // IO <-> Mgmt (or Mgmt <-> Mgmt, which does not occur)
+		return c.IOMgmtLinks
+	}
+}
+
+func (f *Fabric) addLink(kind LinkKind, from, to int, capacity float64) int {
+	id := len(f.Links)
+	f.Links = append(f.Links, Link{ID: id, Kind: kind, From: from, To: to, Cap: capacity, Up: true})
+	return id
+}
+
+// EndpointSwitch returns the switch an endpoint is cabled to.
+func (f *Fabric) EndpointSwitch(ep int) int { return f.endpointSwitch[ep] }
+
+// EndpointGroup returns the dragonfly group of an endpoint.
+func (f *Fabric) EndpointGroup(ep int) int { return f.SwitchGroup[f.endpointSwitch[ep]] }
+
+// NodeEndpoints returns the endpoint ids of compute node n.
+func (f *Fabric) NodeEndpoints(n int) []int {
+	k := f.Cfg.NICsPerNode
+	eps := make([]int, k)
+	for i := range eps {
+		eps[i] = n*k + i
+	}
+	return eps
+}
+
+// GroupClassOf returns a group's class.
+func (f *Fabric) GroupClassOf(g int) GroupClass { return f.groupClass[g] }
+
+// GroupSwitches returns the switch ids of a group.
+func (f *Fabric) GroupSwitches(g int) []int { return f.groupSwitches[g] }
+
+// GlobalLinks returns the directed global link ids from group a to b.
+func (f *Fabric) GlobalLinks(a, b int) []int { return f.globalPair[key(a, b)] }
+
+// FailLink marks a link down.
+func (f *Fabric) FailLink(id int) { f.Links[id].Up = false }
+
+// RestoreLink marks a link up again.
+func (f *Fabric) RestoreLink(id int) { f.Links[id].Up = true }
+
+// FailSwitch marks a switch unhealthy and all links touching it down.
+func (f *Fabric) FailSwitch(sw int) {
+	f.SwitchHealthy[sw] = false
+	for i := range f.Links {
+		l := &f.Links[i]
+		touches := (l.Kind != Injection && l.From == sw) || (l.Kind != Ejection && l.To == sw) ||
+			(l.Kind == Injection && l.To == sw) || (l.Kind == Ejection && l.From == sw)
+		if touches {
+			l.Up = false
+		}
+	}
+}
+
+// linkUp reports whether a link and its switches are usable.
+func (f *Fabric) linkUp(id int) bool {
+	l := f.Links[id]
+	if !l.Up {
+		return false
+	}
+	switch l.Kind {
+	case Injection:
+		return f.SwitchHealthy[l.To]
+	case Ejection:
+		return f.SwitchHealthy[l.From]
+	default:
+		return f.SwitchHealthy[l.From] && f.SwitchHealthy[l.To]
+	}
+}
+
+// pickUp returns a usable link from ids, preferring the rotation offset;
+// ok is false if every link is down.
+func (f *Fabric) pickUp(ids []int, offset int) (int, bool) {
+	for i := 0; i < len(ids); i++ {
+		id := ids[(offset+i)%len(ids)]
+		if f.linkUp(id) {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// MinimalPath returns the directed link sequence of the minimal route
+// between two endpoints: inject → (intra) → (global) → (intra) → eject.
+// rng selects among parallel global links; it may be nil for a
+// deterministic choice.
+func (f *Fabric) MinimalPath(src, dst int, rng *rand.Rand) ([]int, error) {
+	if src == dst {
+		return nil, fmt.Errorf("fabric: self path for endpoint %d", src)
+	}
+	path := make([]int, 0, 6)
+	if !f.linkUp(f.injectLink[src]) || !f.linkUp(f.ejectLink[dst]) {
+		return nil, fmt.Errorf("fabric: endpoint link down (%d->%d)", src, dst)
+	}
+	path = append(path, f.injectLink[src])
+	s1, s2 := f.endpointSwitch[src], f.endpointSwitch[dst]
+	if f.Kind == FatTree {
+		if s1 != s2 {
+			if !f.linkUp(f.uplink[s1]) || !f.linkUp(f.downlink[s2]) {
+				return nil, fmt.Errorf("fabric: trunk link down (%d->%d)", s1, s2)
+			}
+			path = append(path, f.uplink[s1], f.downlink[s2])
+		}
+		return append(path, f.ejectLink[dst]), nil
+	}
+	g1, g2 := f.SwitchGroup[s1], f.SwitchGroup[s2]
+	switch {
+	case s1 == s2:
+		// Same switch: inject + eject only.
+	case g1 == g2:
+		id, ok := f.intraUp(s1, s2)
+		if !ok {
+			return nil, fmt.Errorf("fabric: intra link %d->%d down", s1, s2)
+		}
+		path = append(path, id)
+	default:
+		off := 0
+		if rng != nil {
+			off = rng.Intn(8)
+		}
+		gl, ok := f.pickUp(f.globalPair[key(g1, g2)], off)
+		if !ok {
+			return nil, fmt.Errorf("fabric: no global link up from group %d to %d", g1, g2)
+		}
+		sa, sb := f.Links[gl].From, f.Links[gl].To
+		if sa != s1 {
+			id, ok := f.intraUp(s1, sa)
+			if !ok {
+				return nil, fmt.Errorf("fabric: intra link %d->%d down", s1, sa)
+			}
+			path = append(path, id)
+		}
+		path = append(path, gl)
+		if sb != s2 {
+			id, ok := f.intraUp(sb, s2)
+			if !ok {
+				return nil, fmt.Errorf("fabric: intra link %d->%d down", sb, s2)
+			}
+			path = append(path, id)
+		}
+	}
+	path = append(path, f.ejectLink[dst])
+	return path, nil
+}
+
+func (f *Fabric) intraUp(a, b int) (int, bool) {
+	id, ok := f.intraIndex[key(a, b)]
+	if !ok || !f.linkUp(id) {
+		return 0, false
+	}
+	return id, true
+}
+
+// ValiantPath returns a non-minimal route through intermediate group via:
+// the Valiant trick dragonflies use to spread adversarial traffic. via
+// must differ from both endpoint groups.
+func (f *Fabric) ValiantPath(src, dst, via int, rng *rand.Rand) ([]int, error) {
+	s1, s2 := f.endpointSwitch[src], f.endpointSwitch[dst]
+	g1, g2 := f.SwitchGroup[s1], f.SwitchGroup[s2]
+	if via == g1 || via == g2 {
+		return nil, fmt.Errorf("fabric: valiant group %d collides with endpoint groups %d,%d", via, g1, g2)
+	}
+	if !f.linkUp(f.injectLink[src]) || !f.linkUp(f.ejectLink[dst]) {
+		return nil, fmt.Errorf("fabric: endpoint link down (%d->%d)", src, dst)
+	}
+	off1, off2 := 0, 0
+	if rng != nil {
+		off1, off2 = rng.Intn(8), rng.Intn(8)
+	}
+	gl1, ok := f.pickUp(f.globalPair[key(g1, via)], off1)
+	if !ok {
+		return nil, fmt.Errorf("fabric: no global link up from group %d to %d", g1, via)
+	}
+	gl2, ok := f.pickUp(f.globalPair[key(via, g2)], off2)
+	if !ok {
+		return nil, fmt.Errorf("fabric: no global link up from group %d to %d", via, g2)
+	}
+	path := make([]int, 0, 8)
+	path = append(path, f.injectLink[src])
+	sa, sm1 := f.Links[gl1].From, f.Links[gl1].To
+	sm2, sb := f.Links[gl2].From, f.Links[gl2].To
+	if sa != s1 {
+		id, ok := f.intraUp(s1, sa)
+		if !ok {
+			return nil, fmt.Errorf("fabric: intra link %d->%d down", s1, sa)
+		}
+		path = append(path, id)
+	}
+	path = append(path, gl1)
+	if sm1 != sm2 {
+		id, ok := f.intraUp(sm1, sm2)
+		if !ok {
+			return nil, fmt.Errorf("fabric: intra link %d->%d down", sm1, sm2)
+		}
+		path = append(path, id)
+	}
+	path = append(path, gl2)
+	if sb != s2 {
+		id, ok := f.intraUp(sb, s2)
+		if !ok {
+			return nil, fmt.Errorf("fabric: intra link %d->%d down", sb, s2)
+		}
+		path = append(path, id)
+	}
+	path = append(path, f.ejectLink[dst])
+	return path, nil
+}
+
+// PathLatency returns the zero-load latency of a path: endpoint overhead
+// at both ends plus a switch traversal per switch on the route.
+func (f *Fabric) PathLatency(path []int) units.Seconds {
+	lat := 2 * f.Cfg.EndpointLatency
+	for _, id := range path {
+		if f.Links[id].Kind != Ejection {
+			// Every non-ejection link lands in a switch that must
+			// forward the packet.
+			lat += f.Cfg.SwitchLatency
+		}
+	}
+	return lat
+}
+
+// String summarises the fabric.
+func (f *Fabric) String() string {
+	return fmt.Sprintf("%s: %d groups, %d switches, %d endpoints, %d directed links",
+		f.Cfg.Name, f.Cfg.TotalGroups(), f.NumSwitches, f.NumEndpoints, len(f.Links))
+}
+
+// PortUsage is one switch's port budget: the Rosetta ASIC has 64 ports,
+// which HPE splits 16 L0 (endpoints) + 32 L1 (intra-group) + 16 L2
+// (global) on compute blades.
+type PortUsage struct {
+	Switch                    int
+	L0, L1, L2                int
+	L0Limit, L1Limit, L2Limit int
+}
+
+// Total returns ports in use.
+func (p PortUsage) Total() int { return p.L0 + p.L1 + p.L2 }
+
+// WithinBudget reports whether the switch respects the 64-port ASIC and
+// the per-tier split.
+func (p PortUsage) WithinBudget() bool {
+	return p.L0 <= p.L0Limit && p.L1 <= p.L1Limit && p.L2 <= p.L2Limit && p.Total() <= 64
+}
+
+// PortBudget audits one switch's physical port usage against the ASIC.
+func (f *Fabric) PortBudget(sw int) PortUsage {
+	u := PortUsage{Switch: sw, L0Limit: 16, L1Limit: 32, L2Limit: 16}
+	if f.Kind == FatTree {
+		u.L0Limit, u.L1Limit, u.L2Limit = 64, 64, 64
+	}
+	for _, l := range f.Links {
+		switch l.Kind {
+		case Injection:
+			if l.To == sw {
+				u.L0++
+			}
+		case Ejection:
+			// The ejection direction shares the L0 port counted above.
+		case Intra:
+			if l.From == sw {
+				u.L1++
+			}
+		case Global:
+			if l.From == sw {
+				u.L2++
+			}
+		case Uplink, Downlink:
+			if l.From == sw || l.To == sw {
+				u.L1++
+			}
+		}
+	}
+	return u
+}
+
+// AuditPorts verifies every switch in the fabric fits the ASIC budget.
+func (f *Fabric) AuditPorts() error {
+	for sw := 0; sw < f.NumSwitches; sw++ {
+		if u := f.PortBudget(sw); !u.WithinBudget() {
+			return fmt.Errorf("fabric: switch %d exceeds port budget: L0 %d/%d, L1 %d/%d, L2 %d/%d",
+				sw, u.L0, u.L0Limit, u.L1, u.L1Limit, u.L2, u.L2Limit)
+		}
+	}
+	return nil
+}

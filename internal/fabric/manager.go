@@ -1,0 +1,101 @@
+package fabric
+
+import (
+	"frontiersim/internal/sim"
+	"frontiersim/internal/units"
+)
+
+// Manager models the Slingshot Fabric Manager (§3.4.2): switches boot
+// blank, the manager pushes configuration, then periodically sweeps the
+// fabric for failures or topology changes and sends updated routing
+// tables to affected switches. In the model a "routing table push" is a
+// bump of the routing epoch: path construction always consults current
+// link state, so routes recompute lazily after each sweep.
+type Manager struct {
+	F *Fabric
+	// SweepInterval is how often the manager polls every switch.
+	SweepInterval units.Seconds
+	// Epoch increments whenever a sweep observes a state change.
+	Epoch int
+	// RoutesPushed counts routing-table updates sent to switches.
+	RoutesPushed int
+
+	// Tables is the forwarding state most recently pushed to switches.
+	Tables map[int]RoutingTable
+
+	lastLinkUp   []bool
+	lastSwHealth []bool
+	stop         *sim.Event
+}
+
+// NewManager returns a manager for fabric f.
+func NewManager(f *Fabric, sweepInterval units.Seconds) *Manager {
+	m := &Manager{F: f, SweepInterval: sweepInterval}
+	m.snapshot()
+	m.Tables = f.BuildAllRoutingTables()
+	return m
+}
+
+func (m *Manager) snapshot() {
+	m.lastLinkUp = make([]bool, len(m.F.Links))
+	for i := range m.F.Links {
+		m.lastLinkUp[i] = m.F.Links[i].Up
+	}
+	m.lastSwHealth = append([]bool(nil), m.F.SwitchHealthy...)
+}
+
+// Sweep polls all switches once and returns the number of observed state
+// changes. On any change the routing epoch advances and new tables are
+// pushed to the switches that own changed links.
+func (m *Manager) Sweep() int {
+	changes := 0
+	affected := map[int]bool{}
+	for i := range m.F.Links {
+		if m.F.Links[i].Up != m.lastLinkUp[i] {
+			changes++
+			l := m.F.Links[i]
+			if l.Kind != Injection {
+				affected[l.From] = true
+			}
+			if l.Kind != Ejection {
+				affected[l.To] = true
+			}
+			m.lastLinkUp[i] = l.Up
+		}
+	}
+	for s := range m.F.SwitchHealthy {
+		if m.F.SwitchHealthy[s] != m.lastSwHealth[s] {
+			changes++
+			affected[s] = true
+			m.lastSwHealth[s] = m.F.SwitchHealthy[s]
+		}
+	}
+	if changes > 0 {
+		m.Epoch++
+		m.RoutesPushed += len(affected)
+		// Recompute and push forwarding tables. Affected switches get
+		// new tables; group-mates of failed hardware also change (their
+		// fallback candidates moved), so the manager rebuilds the lot —
+		// the real implementation diffs, the effect is the same.
+		m.Tables = m.F.BuildAllRoutingTables()
+	}
+	return changes
+}
+
+// Start schedules periodic sweeps on the simulation kernel.
+func (m *Manager) Start(k *sim.Kernel) {
+	var tick func()
+	tick = func() {
+		m.Sweep()
+		m.stop = k.After(m.SweepInterval, tick)
+	}
+	m.stop = k.After(m.SweepInterval, tick)
+}
+
+// Stop cancels the periodic sweep.
+func (m *Manager) Stop() {
+	if m.stop != nil {
+		m.stop.Cancel()
+		m.stop = nil
+	}
+}

@@ -1,0 +1,110 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"frontiersim/internal/units"
+)
+
+func TestRidgeIntensity(t *testing.T) {
+	g := NewMI250XGCD()
+	ridge := g.RidgeIntensity(FP64, false)
+	// 23.95 TF / 1.635 TB/s ≈ 14.6 FLOP/B.
+	if math.Abs(ridge-14.65) > 0.2 {
+		t.Errorf("FP64 vector ridge = %.1f, want ~14.6", ridge)
+	}
+	if g.RidgeIntensity(FP64, true) <= ridge {
+		t.Error("matrix ridge must sit right of the vector ridge")
+	}
+}
+
+func TestKernelClassification(t *testing.T) {
+	g := NewMI250XGCD()
+	ks := CharacteristicKernels()
+	if len(ks) != 3 {
+		t.Fatal("want 3 characteristic kernels")
+	}
+	var gemm, triad, stencil = ks[0], ks[1], ks[2]
+	if !g.ComputeBound(gemm) {
+		t.Error("DGEMM tile must be compute bound")
+	}
+	if g.ComputeBound(triad) {
+		t.Error("STREAM triad must be bandwidth bound")
+	}
+	if g.ComputeBound(stencil) {
+		t.Error("7-point stencil at 0.5 FLOP/B must be bandwidth bound")
+	}
+}
+
+func TestKernelTimes(t *testing.T) {
+	g := NewMI250XGCD()
+	triad := CharacteristicKernels()[1]
+	rate, err := g.KernelRate(triad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bandwidth bound: achieved = intensity x HBM peak = 1/12 x 1.635e12
+	// FLOP/s (launch overhead is negligible at this size).
+	want := triad.Intensity() * float64(g.HBM.Peak())
+	if math.Abs(float64(rate)-want)/want > 0.02 {
+		t.Errorf("triad rate = %.3g, want %.3g", float64(rate), want)
+	}
+	gemm := CharacteristicKernels()[0]
+	gr, err := g.KernelRate(gemm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute bound at 71% of the matrix peak: ~34 TF/s, Fig. 3's number.
+	if tf := float64(gr) / 1e12; math.Abs(tf-34) > 1.5 {
+		t.Errorf("gemm rate = %.1f TF/s, want ~34", tf)
+	}
+}
+
+func TestKernelEdgeCases(t *testing.T) {
+	g := NewMI250XGCD()
+	if _, err := g.KernelTime(Kernel{Name: "bad", Flops: -1}); err == nil {
+		t.Error("negative work should error")
+	}
+	// Zero-byte kernel has infinite intensity: compute bound by
+	// definition.
+	k := Kernel{Name: "regs-only", Flops: 1e9, Precision: FP32}
+	if !g.ComputeBound(k) {
+		t.Error("zero-traffic kernel is compute bound")
+	}
+	if _, err := g.KernelRate(k); err != nil {
+		t.Error(err)
+	}
+	// Out-of-range efficiency falls back to 1.
+	k2 := Kernel{Name: "eff", Flops: 1e12, Bytes: units.GB, Precision: FP64, Efficiency: 7}
+	d1, _ := g.KernelTime(k2)
+	k2.Efficiency = 1
+	d2, _ := g.KernelTime(k2)
+	if d1 != d2 {
+		t.Error("invalid efficiency should behave as 1.0")
+	}
+}
+
+// §3.1.2: "Support for fast hardware-based FP64 atomic operations was
+// also added" in the MI250X generation.
+func TestFP64Atomics(t *testing.T) {
+	g := NewMI250XGCD()
+	hw := g.AtomicThroughput(true, 0)
+	sw := g.AtomicThroughput(false, 0)
+	if hw/sw < 7 || hw/sw > 9 {
+		t.Errorf("hardware atomics advantage = %.1fx, want ~8x", hw/sw)
+	}
+	// Conflicts serialise.
+	free := g.AtomicThroughput(true, 0)
+	contended := g.AtomicThroughput(true, 0.5)
+	if contended >= free {
+		t.Error("contention must reduce atomic throughput")
+	}
+	// Clamping.
+	if g.AtomicThroughput(true, -1) != free {
+		t.Error("negative conflict fraction should clamp to 0")
+	}
+	if g.AtomicThroughput(true, 2) <= 0 {
+		t.Error("full conflict still makes progress")
+	}
+}

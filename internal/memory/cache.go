@@ -1,0 +1,89 @@
+package memory
+
+import (
+	"frontiersim/internal/units"
+)
+
+// CacheLevel is one level of the socket's cache hierarchy, with its
+// aggregate (all-core) streaming bandwidth.
+type CacheLevel struct {
+	Name      string
+	Capacity  units.Bytes
+	Bandwidth units.BytesPerSecond
+}
+
+// Hierarchy is a socket's memory hierarchy: cache levels backed by DRAM.
+// It answers the question behind Table 3's footnote — how bandwidth
+// "falls off a cliff" as the STREAM working set outgrows each level,
+// and why measurements must use arrays far larger than L3.
+type Hierarchy struct {
+	Levels []CacheLevel
+	DRAM   DRAM
+}
+
+// TrentoHierarchy returns the EPYC 7A53 hierarchy: 64 cores of 32 KiB
+// L1D and 512 KiB L2, eight CCDs of 32 MiB L3, DDR4 behind them.
+// Bandwidths are aggregate socket figures for streaming kernels.
+func TrentoHierarchy() Hierarchy {
+	return Hierarchy{
+		Levels: []CacheLevel{
+			{Name: "L1", Capacity: 64 * 32 * units.KiB, Bandwidth: 12 * units.TBps},
+			{Name: "L2", Capacity: 64 * 512 * units.KiB, Bandwidth: 6 * units.TBps},
+			{Name: "L3", Capacity: 8 * 32 * units.MiB, Bandwidth: 2.5 * units.TBps},
+		},
+		DRAM: TrentoDDR4(),
+	}
+}
+
+// workingSetFactor is how much of a level the three STREAM arrays can
+// occupy before conflict and capacity misses push traffic down a level.
+const workingSetFactor = 0.75
+
+// LevelFor returns the hierarchy level that serves a STREAM run whose
+// combined arrays total workingSet bytes; ok is false when the set
+// spills to DRAM.
+func (h Hierarchy) LevelFor(workingSet units.Bytes) (CacheLevel, bool) {
+	for _, l := range h.Levels {
+		if float64(workingSet) <= float64(l.Capacity)*workingSetFactor {
+			return l, true
+		}
+	}
+	return CacheLevel{}, false
+}
+
+// StreamBandwidth extends CPUStreamBandwidth across the hierarchy: a
+// kernel whose arrays fit in cache streams at that cache's bandwidth
+// (write-allocate is then irrelevant — the lines are already resident);
+// otherwise the DRAM model applies.
+func (h Hierarchy) StreamBandwidth(k StreamKernel, arrayBytes units.Bytes, temporal bool) units.BytesPerSecond {
+	nArrays := k.Reads + k.Writes
+	if k.ReadOnly {
+		nArrays = k.Reads
+	}
+	workingSet := arrayBytes * units.Bytes(nArrays)
+	if l, ok := h.LevelFor(workingSet); ok {
+		return l.Bandwidth
+	}
+	return CPUStreamBandwidth(h.DRAM, k, temporal)
+}
+
+// SweepPoint is one point of a bandwidth-vs-size curve.
+type SweepPoint struct {
+	ArrayBytes units.Bytes
+	Bandwidth  units.BytesPerSecond
+	Level      string
+}
+
+// Sweep produces the classic STREAM size sweep for a kernel.
+func (h Hierarchy) Sweep(k StreamKernel, sizes []units.Bytes, temporal bool) []SweepPoint {
+	out := make([]SweepPoint, 0, len(sizes))
+	for _, s := range sizes {
+		bw := h.StreamBandwidth(k, s, temporal)
+		level := "DRAM"
+		if l, ok := h.LevelFor(s * units.Bytes(k.Reads+k.Writes)); ok {
+			level = l.Name
+		}
+		out = append(out, SweepPoint{ArrayBytes: s, Bandwidth: bw, Level: level})
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package memory
+
+import (
+	"testing"
+
+	"frontiersim/internal/units"
+)
+
+func TestHierarchyShape(t *testing.T) {
+	h := TrentoHierarchy()
+	if len(h.Levels) != 3 {
+		t.Fatalf("levels = %d, want 3", len(h.Levels))
+	}
+	// Capacities and bandwidths must both be monotone.
+	for i := 1; i < len(h.Levels); i++ {
+		if h.Levels[i].Capacity <= h.Levels[i-1].Capacity {
+			t.Error("capacities must grow down the hierarchy")
+		}
+		if h.Levels[i].Bandwidth >= h.Levels[i-1].Bandwidth {
+			t.Error("bandwidths must shrink down the hierarchy")
+		}
+	}
+	if h.Levels[2].Capacity != 256*units.MiB {
+		t.Errorf("L3 = %v, want 256 MiB", h.Levels[2].Capacity)
+	}
+	// Even L3 is far faster than DRAM: the cliff Table 3 avoids.
+	if float64(h.Levels[2].Bandwidth) < 5*float64(h.DRAM.Sustained()) {
+		t.Error("L3 should dwarf DRAM bandwidth")
+	}
+}
+
+func TestLevelFor(t *testing.T) {
+	h := TrentoHierarchy()
+	if l, ok := h.LevelFor(units.MiB); !ok || l.Name != "L1" {
+		t.Errorf("1 MiB should fit L1, got %v %v", l.Name, ok)
+	}
+	if l, ok := h.LevelFor(16 * units.MiB); !ok || l.Name != "L2" {
+		t.Errorf("16 MiB should fit L2, got %v %v", l.Name, ok)
+	}
+	if l, ok := h.LevelFor(120 * units.MiB); !ok || l.Name != "L3" {
+		t.Errorf("120 MiB should fit L3, got %v %v", l.Name, ok)
+	}
+	if _, ok := h.LevelFor(units.GiB); ok {
+		t.Error("1 GiB should spill to DRAM")
+	}
+}
+
+func TestStreamSweepCliffs(t *testing.T) {
+	h := TrentoHierarchy()
+	sizes := []units.Bytes{
+		100 * units.KiB, 4 * units.MiB, 40 * units.MiB, 2 * units.GiB, 7.6 * units.GB,
+	}
+	pts := h.Sweep(Triad, sizes, true)
+	if len(pts) != len(sizes) {
+		t.Fatal("sweep length")
+	}
+	// Bandwidth must be non-increasing across the sweep.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Bandwidth > pts[i-1].Bandwidth {
+			t.Errorf("sweep not monotone at %v", pts[i].ArrayBytes)
+		}
+	}
+	// The last points are DRAM and must match Table 3's model exactly.
+	want := CPUStreamBandwidth(h.DRAM, Triad, true)
+	if pts[len(pts)-1].Bandwidth != want {
+		t.Errorf("DRAM point = %v, want %v", pts[len(pts)-1].Bandwidth, want)
+	}
+	if pts[len(pts)-1].Level != "DRAM" {
+		t.Errorf("level = %s, want DRAM", pts[len(pts)-1].Level)
+	}
+	if pts[0].Level != "L1" {
+		t.Errorf("first level = %s, want L1", pts[0].Level)
+	}
+	// Cache-resident runs wildly overstate memory bandwidth — the trap
+	// the 7.6 GB arrays avoid.
+	if float64(pts[0].Bandwidth) < 10*float64(want) {
+		t.Error("L1-resident STREAM should dwarf the DRAM figure")
+	}
+}
+
+func TestDotWorkingSet(t *testing.T) {
+	h := TrentoHierarchy()
+	// Dot reads two arrays and writes none: a 90 MiB pair fits L3 where
+	// a three-array kernel would not.
+	bwDot := h.StreamBandwidth(Dot, 90*units.MiB, true)
+	bwTriad := h.StreamBandwidth(Triad, 90*units.MiB, true)
+	if bwDot <= bwTriad {
+		t.Errorf("dot (2 arrays, %v) should stay cached vs triad (3 arrays, %v)", bwDot, bwTriad)
+	}
+}

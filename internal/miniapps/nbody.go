@@ -1,0 +1,141 @@
+package miniapps
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"frontiersim/internal/gpu"
+	"frontiersim/internal/units"
+)
+
+// NBody is a direct-sum gravitational kernel with softening — the force
+// class behind HACC's short-range interactions. It integrates with
+// leapfrog (kick-drift-kick), which conserves energy to second order:
+// the validation target.
+type NBody struct {
+	N    int
+	Soft float64
+	DT   float64
+	pos  [][3]float64
+	vel  [][3]float64
+	acc  [][3]float64
+	mass []float64
+	// Steps taken.
+	Steps int
+}
+
+// NewNBody builds a randomised cluster of n bodies.
+func NewNBody(n int, rng *rand.Rand) (*NBody, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("miniapps: nbody needs n >= 2")
+	}
+	b := &NBody{
+		N:    n,
+		Soft: 0.05,
+		DT:   1e-3,
+		pos:  make([][3]float64, n),
+		vel:  make([][3]float64, n),
+		acc:  make([][3]float64, n),
+		mass: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		for d := 0; d < 3; d++ {
+			b.pos[i][d] = rng.Float64() - 0.5
+			b.vel[i][d] = 0.1 * (rng.Float64() - 0.5)
+		}
+		b.mass[i] = 1 / float64(n)
+	}
+	b.computeForces()
+	return b, nil
+}
+
+func (b *NBody) computeForces() {
+	soft2 := b.Soft * b.Soft
+	for i := range b.acc {
+		b.acc[i] = [3]float64{}
+	}
+	for i := 0; i < b.N; i++ {
+		for j := i + 1; j < b.N; j++ {
+			var d [3]float64
+			r2 := soft2
+			for k := 0; k < 3; k++ {
+				d[k] = b.pos[j][k] - b.pos[i][k]
+				r2 += d[k] * d[k]
+			}
+			inv := 1 / (r2 * math.Sqrt(r2))
+			for k := 0; k < 3; k++ {
+				b.acc[i][k] += b.mass[j] * d[k] * inv
+				b.acc[j][k] -= b.mass[i] * d[k] * inv
+			}
+		}
+	}
+}
+
+// Step advances one leapfrog step.
+func (b *NBody) Step() {
+	half := b.DT / 2
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 3; k++ {
+			b.vel[i][k] += b.acc[i][k] * half
+			b.pos[i][k] += b.vel[i][k] * b.DT
+		}
+	}
+	b.computeForces()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 3; k++ {
+			b.vel[i][k] += b.acc[i][k] * half
+		}
+	}
+	b.Steps++
+}
+
+// Energy returns kinetic + potential energy (softened).
+func (b *NBody) Energy() float64 {
+	e := 0.0
+	for i := 0; i < b.N; i++ {
+		v2 := 0.0
+		for k := 0; k < 3; k++ {
+			v2 += b.vel[i][k] * b.vel[i][k]
+		}
+		e += 0.5 * b.mass[i] * v2
+	}
+	soft2 := b.Soft * b.Soft
+	for i := 0; i < b.N; i++ {
+		for j := i + 1; j < b.N; j++ {
+			r2 := soft2
+			for k := 0; k < 3; k++ {
+				d := b.pos[j][k] - b.pos[i][k]
+				r2 += d * d
+			}
+			e -= b.mass[i] * b.mass[j] / math.Sqrt(r2)
+		}
+	}
+	return e
+}
+
+// nbodyFlopsPerPair is the work of one pairwise interaction (distance,
+// inverse-cube, two accumulate-3-vectors) as a GPU implementation counts
+// it (~23 FLOPs with the rsqrt).
+const nbodyFlopsPerPair = 23
+
+// Kernel characterises one full force evaluation for the roofline: the
+// pairwise sweep is compute bound — each tile of bodies is reused from
+// shared memory, so traffic is linear while work is quadratic. HACC runs
+// this class in single precision.
+func (b *NBody) Kernel() gpu.Kernel {
+	pairs := float64(b.N) * float64(b.N-1) / 2
+	return gpu.Kernel{
+		Name:       fmt.Sprintf("nbody-%d", b.N),
+		Flops:      nbodyFlopsPerPair * pairs,
+		Bytes:      units.Bytes(32 * float64(b.N)), // positions + masses streamed once
+		Precision:  gpu.FP32,
+		Efficiency: 0.75,
+	}
+}
+
+// PredictForceTime asks the roofline model for the force-sweep time on a
+// GCD at this problem size.
+func (b *NBody) PredictForceTime(g *gpu.GCD) (units.Seconds, error) {
+	return g.KernelTime(b.Kernel())
+}

@@ -1,0 +1,275 @@
+package network
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"frontiersim/internal/fabric"
+	"frontiersim/internal/units"
+)
+
+// GPCNeTConfig controls the congestion benchmark of Table 5. GPCNeT [12]
+// splits the machine 80/20 into congestor and victim nodes: congestors
+// run adversarial patterns (all-to-all, incast, broadcast) while victims
+// measure point-to-point latency, windowed bandwidth, and allreduce.
+type GPCNeTConfig struct {
+	// Nodes participating (9,400 in the paper's run).
+	Nodes int
+	// PPN is processes per node (8 is the expected production case).
+	PPN int
+	// CongestionControl enables Slingshot's hardware CC. Off models a
+	// fabric whose congestors are not source-throttled (tree saturation
+	// and HOL blocking leak into victims, as on Summit's EDR [73]).
+	CongestionControl bool
+	// RRMessageBytes is the victim bandwidth-test message (131072).
+	RRMessageBytes units.Bytes
+	// LatencySamples is the number of victim latency probes.
+	LatencySamples int
+	// ValiantPaths for adaptive routing.
+	ValiantPaths int
+	// SyncOverhead is the per-window synchronisation cost of the
+	// BW+Sync victim pattern (calibrated: ~20 µs).
+	SyncOverhead units.Seconds
+	// BWJitter is the relative spread of per-rank bandwidth samples.
+	BWJitter float64
+}
+
+// DefaultGPCNeTConfig mirrors the paper's 9,400-node, 8-PPN run.
+func DefaultGPCNeTConfig() GPCNeTConfig {
+	return GPCNeTConfig{
+		Nodes:             9400,
+		PPN:               8,
+		CongestionControl: true,
+		RRMessageBytes:    128 * units.KiB,
+		LatencySamples:    4000,
+		ValiantPaths:      4,
+		SyncOverhead:      17.5 * units.Microsecond,
+		BWJitter:          0.13,
+	}
+}
+
+// BWStats summarises per-rank bandwidth: Average and the 99th-percentile
+// *worst case* (the lowest 1%), which is how GPCNeT reports "99%".
+type BWStats struct {
+	Average units.BytesPerSecond
+	P99     units.BytesPerSecond
+	N       int
+}
+
+// GPCNeTResult carries both phases and the impact factors.
+type GPCNeTResult struct {
+	Isolated  GPCNeTPhase
+	Congested GPCNeTPhase
+	// Impact factors: congested / isolated for latency (>1 is worse),
+	// isolated / congested for bandwidth (>1 is worse).
+	LatencyImpact   float64
+	BandwidthImpact float64
+	AllreduceImpact float64
+}
+
+// GPCNeTPhase is one measurement phase.
+type GPCNeTPhase struct {
+	Latency   LatencyStats
+	Bandwidth BWStats
+	Allreduce LatencyStats
+}
+
+// RunGPCNeT executes the benchmark on fabric f.
+func RunGPCNeT(f *fabric.Fabric, cfg GPCNeTConfig, rng *rand.Rand) (GPCNeTResult, error) {
+	if cfg.Nodes > f.Cfg.ComputeNodes() {
+		return GPCNeTResult{}, fmt.Errorf("network: %d nodes exceeds fabric's %d", cfg.Nodes, f.Cfg.ComputeNodes())
+	}
+	if cfg.Nodes < 10 {
+		return GPCNeTResult{}, fmt.Errorf("network: GPCNeT needs at least 10 nodes")
+	}
+	// 20% victims, spread across the machine like a real allocation.
+	var victims, congestors []int
+	for n := 0; n < cfg.Nodes; n++ {
+		if n%5 == 0 {
+			victims = append(victims, n)
+		} else {
+			congestors = append(congestors, n)
+		}
+	}
+	victimDemands := victimRing(f, victims, cfg, rng)
+	isolated, err := measurePhase(f, cfg, victimDemands, nil, victims, rng, true)
+	if err != nil {
+		return GPCNeTResult{}, err
+	}
+	congestorDemands := buildCongestors(f, congestors, cfg, rng)
+	// Fresh victim demand objects (the solver mutates rates).
+	victimDemands = victimRing(f, victims, cfg, rng)
+	congested, err := measurePhase(f, cfg, victimDemands, congestorDemands, victims, rng, cfg.CongestionControl)
+	if err != nil {
+		return GPCNeTResult{}, err
+	}
+	r := GPCNeTResult{Isolated: isolated, Congested: congested}
+	r.LatencyImpact = float64(congested.Latency.Average) / float64(isolated.Latency.Average)
+	r.BandwidthImpact = float64(isolated.Bandwidth.Average) / float64(congested.Bandwidth.Average)
+	r.AllreduceImpact = float64(congested.Allreduce.Average) / float64(isolated.Allreduce.Average)
+	return r, nil
+}
+
+// victimCap is the per-rank demand cap of the BW+Sync pattern: each rank
+// keeps one message window in flight then synchronises, so its offered
+// load is msg / (serialisation at its NIC share + sync overhead).
+func victimCap(f *fabric.Fabric, cfg GPCNeTConfig) float64 {
+	ranksPerNIC := float64(cfg.PPN) / float64(f.Cfg.NICsPerNode)
+	if ranksPerNIC < 1 {
+		ranksPerNIC = 1
+	}
+	share := float64(f.Cfg.LinkRate) * f.Cfg.EndpointEfficiency / ranksPerNIC
+	msg := float64(cfg.RRMessageBytes)
+	return msg / (msg/share + float64(cfg.SyncOverhead))
+}
+
+// victimRing builds the victim random-ring bandwidth demands: rank r of
+// victim i sends to rank r of the next victim in a shuffled ring.
+func victimRing(f *fabric.Fabric, victims []int, cfg GPCNeTConfig, rng *rand.Rand) []*Demand {
+	ring := append([]int(nil), victims...)
+	rng.Shuffle(len(ring), func(i, j int) { ring[i], ring[j] = ring[j], ring[i] })
+	cap := victimCap(f, cfg)
+	var demands []*Demand
+	for i, n := range ring {
+		next := ring[(i+1)%len(ring)]
+		for r := 0; r < cfg.PPN; r++ {
+			src := f.NodeEndpoints(n)[r%f.Cfg.NICsPerNode]
+			dst := f.NodeEndpoints(next)[r%f.Cfg.NICsPerNode]
+			ps, err := f.AdaptivePaths(src, dst, cfg.ValiantPaths, rng)
+			if err != nil {
+				continue
+			}
+			demands = append(demands, &Demand{Src: src, Dst: dst, Paths: ps.Paths, Cap: cap})
+		}
+	}
+	return demands
+}
+
+// buildCongestors creates the adversarial traffic: half the congestor
+// ranks run a windowed all-to-all (random pairs), half run 16-to-1
+// incasts. Congestors are deliberately uncapped — with hardware CC the
+// fabric itself pushes them back to their bottleneck share.
+func buildCongestors(f *fabric.Fabric, congestors []int, cfg GPCNeTConfig, rng *rand.Rand) []*Demand {
+	var demands []*Demand
+	nicRanks := f.Cfg.NICsPerNode
+	if cfg.PPN < nicRanks {
+		nicRanks = cfg.PPN
+	}
+	for i, n := range congestors {
+		switch (i / 16) % 2 {
+		case 0: // all-to-all: each node fires at a random other congestor
+			for r := 0; r < nicRanks; r++ {
+				peer := congestors[rng.Intn(len(congestors))]
+				if peer == n {
+					continue
+				}
+				src := f.NodeEndpoints(n)[r]
+				dst := f.NodeEndpoints(peer)[r]
+				ps, err := f.AdaptivePaths(src, dst, cfg.ValiantPaths, rng)
+				if err != nil {
+					continue
+				}
+				demands = append(demands, &Demand{Src: src, Dst: dst, Paths: ps.Paths})
+			}
+		case 1: // incast: blocks of 16 nodes target the block leader
+			leader := congestors[(i/16)*16]
+			if leader == n {
+				continue
+			}
+			src := f.NodeEndpoints(n)[0]
+			dst := f.NodeEndpoints(leader)[0]
+			ps, err := f.AdaptivePaths(src, dst, cfg.ValiantPaths, rng)
+			if err != nil {
+				continue
+			}
+			demands = append(demands, &Demand{Src: src, Dst: dst, Paths: ps.Paths})
+		}
+	}
+	return demands
+}
+
+// measurePhase solves the combined traffic and extracts victim stats. cc
+// reports whether hardware congestion control protects this phase.
+func measurePhase(f *fabric.Fabric, cfg GPCNeTConfig, victims, congestors []*Demand, victimNodes []int, rng *rand.Rand, cc bool) (GPCNeTPhase, error) {
+	all := make([]*Demand, 0, len(victims)+len(congestors))
+	all = append(all, victims...)
+	all = append(all, congestors...)
+	if err := Solve(f, all); err != nil {
+		return GPCNeTPhase{}, err
+	}
+	// Head-of-line blocking without CC: victim flows crossing saturated
+	// fabric links that congestors also occupy are derated; CC removes
+	// the effect entirely. Protection also erodes as PPN grows past the
+	// 8-rank-per-node design point (the paper's 32-PPN results).
+	hol := 0.0
+	if len(congestors) > 0 {
+		if !cc {
+			hol = 1.0
+		} else if cfg.PPN > 8 {
+			hol = math.Min(1, float64(cfg.PPN-8)/24) * 0.45
+		}
+	}
+	var load map[int]float64
+	congested := map[int]bool{}
+	if hol > 0 {
+		load = LinkLoad(f, all)
+		for _, d := range congestors {
+			for _, p := range d.Paths {
+				for _, lid := range p {
+					if load[lid] > 0.98 && f.Links[lid].Kind != fabric.Injection {
+						congested[lid] = true
+					}
+				}
+			}
+		}
+	}
+	var phase GPCNeTPhase
+	// Bandwidth stats over victim ranks.
+	bw := make([]float64, 0, len(victims))
+	var sum float64
+	for _, d := range victims {
+		v := d.Rate
+		if hol > 0 {
+			k := 0
+			for _, p := range d.Paths {
+				for _, lid := range p {
+					if congested[lid] {
+						k++
+					}
+				}
+			}
+			if k > 0 {
+				v *= math.Pow(1-0.30*hol, math.Min(float64(k), 3))
+			}
+		}
+		v *= math.Exp(-math.Abs(rng.NormFloat64()) * cfg.BWJitter)
+		bw = append(bw, v)
+		sum += v
+	}
+	sort.Float64s(bw)
+	phase.Bandwidth = BWStats{
+		Average: units.BytesPerSecond(sum / float64(len(bw))),
+		P99:     units.BytesPerSecond(bw[int(float64(len(bw))*0.01)]),
+		N:       len(bw),
+	}
+	// Latency stats: probes between random victim endpoints. Congestion
+	// without CC inflates queueing; with CC it does not.
+	lm := NewLatencyModel(f, rng)
+	if hol > 0 {
+		lm.QueueMean = units.Seconds(float64(lm.QueueMean) * (1 + 6*hol))
+		lm.DeepQueueProb = math.Min(0.5, lm.DeepQueueProb*(1+10*hol))
+	}
+	var eps []int
+	for _, n := range victimNodes {
+		eps = append(eps, f.NodeEndpoints(n)...)
+	}
+	lat, err := lm.MeasureLatency(eps, cfg.LatencySamples)
+	if err != nil {
+		return GPCNeTPhase{}, err
+	}
+	phase.Latency = lat
+	phase.Allreduce = lm.AllreduceLatency(len(victimNodes)*cfg.PPN, 400)
+	return phase, nil
+}

@@ -1,0 +1,85 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func patternNodes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestShiftPattern(t *testing.T) {
+	f := smallFabric(t)
+	rng := rand.New(rand.NewSource(1))
+	res, err := Measure(f, Shift(8, 4, 4), patternNodes(48), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 48*4 {
+		t.Errorf("samples = %d, want 192", len(res.Samples))
+	}
+	if res.Min <= 0 || res.Max > 17.5e9*1.01 {
+		t.Errorf("rates outside (0, NIC]: min %.3g max %.3g", res.Min, res.Max)
+	}
+	// A shift of 0-mod-len is degenerate.
+	if _, err := Measure(f, Shift(0, 4, 4), patternNodes(1), rng); err == nil {
+		t.Error("single node shift should error")
+	}
+}
+
+func TestIncastConcentrates(t *testing.T) {
+	f := smallFabric(t)
+	rng := rand.New(rand.NewSource(2))
+	res, err := Measure(f, Incast(0, 2), patternNodes(17), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 senders share the target's ejection link (17.5 GB/s): each
+	// gets ~1.1 GB/s — the fair share congestion control enforces.
+	want := 25e9 * 0.7 / 16
+	if res.Mean < want*0.8 || res.Mean > want*1.2 {
+		t.Errorf("incast mean = %.3g, want ~%.3g (ejection fair share)", res.Mean, want)
+	}
+	if _, err := Measure(f, Incast(0, 2), []int{0}, rng); err == nil {
+		t.Error("incast with no senders should error")
+	}
+}
+
+func TestBroadcastSpreads(t *testing.T) {
+	f := smallFabric(t)
+	rng := rand.New(rand.NewSource(3))
+	res, err := Measure(f, Broadcast(0, 2), patternNodes(17), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The root's single injection NIC (17.5 GB/s) splits 16 ways.
+	want := 25e9 * 0.7 / 16
+	if res.Mean < want*0.8 || res.Mean > want*1.2 {
+		t.Errorf("broadcast mean = %.3g, want ~%.3g (injection fair share)", res.Mean, want)
+	}
+	if _, err := Measure(f, Broadcast(0, 2), []int{0}, rng); err == nil {
+		t.Error("broadcast with no receivers should error")
+	}
+}
+
+func TestRandomPermutationPattern(t *testing.T) {
+	f := smallFabric(t)
+	rng := rand.New(rand.NewSource(4))
+	res, err := Measure(f, RandomPermutation(4, 4), patternNodes(48), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) == 0 || res.Mean <= 0 {
+		t.Fatal("permutation produced nothing")
+	}
+	// Permutation traffic on a lightly loaded fabric beats incast's
+	// fair share by an order of magnitude.
+	if res.Mean < 5e9 {
+		t.Errorf("permutation mean = %.3g, want multi-GB/s", res.Mean)
+	}
+}

@@ -1,0 +1,121 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"frontiersim/internal/fabric"
+	"frontiersim/internal/sim"
+	"frontiersim/internal/units"
+)
+
+// Transport is the message-level, event-driven companion to the
+// steady-state flow solver: individual messages move across the fabric
+// on the simulation clock, serialising on each link they cross. Where
+// Solve answers "what bandwidth does each pair sustain", Transport
+// answers "when does this message arrive" — with queueing delays emerging
+// from link occupancy. Used for latency-sensitive studies and for
+// driving app phases through the kernel.
+type Transport struct {
+	K *sim.Kernel
+	F *fabric.Fabric
+	// links[i] serialises messages crossing fabric link i (lazily
+	// created).
+	links map[int]*sim.Resource
+	// Rng picks among parallel routes.
+	Rng *rand.Rand
+
+	// Delivered counts completed messages.
+	Delivered int
+	// BytesMoved sums delivered payload.
+	BytesMoved units.Bytes
+}
+
+// NewTransport builds a transport on kernel k over fabric f.
+func NewTransport(k *sim.Kernel, f *fabric.Fabric) *Transport {
+	return &Transport{
+		K:     k,
+		F:     f,
+		links: map[int]*sim.Resource{},
+		Rng:   k.Stream("transport"),
+	}
+}
+
+func (t *Transport) resource(link int) *sim.Resource {
+	r, ok := t.links[link]
+	if !ok {
+		r = sim.NewResource(t.K, fmt.Sprintf("link-%d", link), 1)
+		t.links[link] = r
+	}
+	return r
+}
+
+// Send schedules a message of b bytes from endpoint src to dst over the
+// minimal route, cut-through: the message holds each link for its
+// serialisation time, pipelining across hops with the per-switch latency
+// between them. done (optional) runs at delivery with the end-to-end
+// time.
+func (t *Transport) Send(src, dst int, b units.Bytes, done func(units.Seconds)) error {
+	path, err := t.F.MinimalPath(src, dst, t.Rng)
+	if err != nil {
+		return err
+	}
+	start := t.K.Now()
+	// NIC and software overhead on the way in; the symmetric cost on
+	// the way out is added at delivery.
+	t.K.After(t.F.Cfg.EndpointLatency, func() {
+		t.hop(path, 0, b, start, done)
+	})
+	return nil
+}
+
+// hop acquires the next link, holds it for the serialisation time, and
+// recurses. Cut-through forwarding: the head of the message moves on
+// after the switch latency, but the link stays busy for the full
+// serialisation, which is what creates backpressure under load.
+func (t *Transport) hop(path []int, i int, b units.Bytes, start units.Seconds, done func(units.Seconds)) {
+	if i == len(path) {
+		t.K.After(t.F.Cfg.EndpointLatency, func() {
+			t.Delivered++
+			t.BytesMoved += b
+			if done != nil {
+				done(t.K.Now() - start)
+			}
+		})
+		return
+	}
+	link := t.F.Links[path[i]]
+	res := t.resource(path[i])
+	res.Acquire(1, func() {
+		ser := units.Seconds(float64(b) / link.Cap)
+		// The link is busy for the serialisation time...
+		t.K.After(ser, func() { res.Release(1) })
+		// ...while the head proceeds after the switch traversal.
+		t.K.After(t.F.Cfg.SwitchLatency, func() {
+			t.hop(path, i+1, b, start, done)
+		})
+	})
+}
+
+// Ping measures one isolated round trip between two endpoints, the
+// event-driven analogue of the latency model's zero-load term. It runs
+// the kernel to completion.
+func (t *Transport) Ping(a, b int, payload units.Bytes) (units.Seconds, error) {
+	start := t.K.Now()
+	var rtt units.Seconds
+	sendErr := t.Send(a, b, payload, func(units.Seconds) {
+		if err := t.Send(b, a, payload, func(units.Seconds) {
+			rtt = t.K.Now() - start
+		}); err != nil {
+			rtt = 0
+		}
+	})
+	if sendErr != nil {
+		return 0, sendErr
+	}
+	t.K.Run()
+	if rtt == 0 {
+		return 0, fmt.Errorf("network: ping return path failed")
+	}
+	return rtt, nil
+}

@@ -1,0 +1,116 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"frontiersim/internal/sim"
+	"frontiersim/internal/units"
+)
+
+func newTransport(t *testing.T) (*sim.Kernel, *Transport) {
+	t.Helper()
+	k := sim.NewKernel(5)
+	return k, NewTransport(k, smallFabric(t))
+}
+
+func TestTransportDelivers(t *testing.T) {
+	k, tr := newTransport(t)
+	var got units.Seconds
+	if err := tr.Send(0, 40, 64*units.KiB, func(d units.Seconds) { got = d }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if tr.Delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", tr.Delivered)
+	}
+	if tr.BytesMoved != 64*units.KiB {
+		t.Errorf("bytes = %v", tr.BytesMoved)
+	}
+	// 64 KiB: endpoint overheads + a few switch hops + serialisation
+	// on the slowest (endpoint) link: a handful of microseconds.
+	if got < 2*units.Microsecond || got > 20*units.Microsecond {
+		t.Errorf("delivery time = %v, want a few us", got)
+	}
+}
+
+func TestTransportZeroLoadLatencyMatchesModel(t *testing.T) {
+	k, tr := newTransport(t)
+	_ = k
+	rtt, err := tr.Ping(0, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An 8-byte ping: RTT should be ~2x the one-way zero-load latency
+	// of the analytic model (2.1-2.6 us one way on the scaled config).
+	oneWay := float64(rtt) / 2
+	if oneWay < 1e-6 || oneWay > 4e-6 {
+		t.Errorf("one-way = %v s, want ~2us", oneWay)
+	}
+}
+
+func TestTransportContentionQueues(t *testing.T) {
+	k, tr := newTransport(t)
+	// Many large messages into the same destination endpoint: the
+	// ejection link serialises them, so delivery times spread out.
+	const n = 8
+	const size = 10 * units.MiB
+	var times []units.Seconds
+	for i := 0; i < n; i++ {
+		src := i * 4 // distinct source switches
+		if err := tr.Send(src, 40, size, func(d units.Seconds) { times = append(times, d) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run()
+	if len(times) != n {
+		t.Fatalf("delivered = %d, want %d", len(times), n)
+	}
+	ser := float64(size) / (25e9 * 0.7) // ejection link serialisation
+	first, last := float64(times[0]), float64(times[0])
+	for _, d := range times {
+		if float64(d) < first {
+			first = float64(d)
+		}
+		if float64(d) > last {
+			last = float64(d)
+		}
+	}
+	if last < float64(n-1)*ser {
+		t.Errorf("last delivery %.3gs should queue behind %d serialisations (%.3gs each)", last, n-1, ser)
+	}
+	if first > 2*ser {
+		t.Errorf("first delivery %.3gs should not queue", first)
+	}
+}
+
+func TestTransportDisjointPathsParallel(t *testing.T) {
+	k, tr := newTransport(t)
+	var a, b units.Seconds
+	// Disjoint endpoints and groups: fully parallel.
+	tr.Send(0, 40, units.MiB, func(d units.Seconds) { a = d })
+	tr.Send(65, 100, units.MiB, func(d units.Seconds) { b = d })
+	k.Run()
+	if math.Abs(float64(a-b)) > 2e-6 {
+		t.Errorf("disjoint transfers should take similar time: %v vs %v", a, b)
+	}
+}
+
+func TestTransportSendErrors(t *testing.T) {
+	_, tr := newTransport(t)
+	if err := tr.Send(0, 0, units.KiB, nil); err == nil {
+		t.Error("self-send should error")
+	}
+	tr.F.FailSwitch(tr.F.EndpointSwitch(0))
+	if err := tr.Send(0, 40, units.KiB, nil); err == nil {
+		t.Error("send from failed switch should error")
+	}
+}
+
+func TestPingFailureSurfaces(t *testing.T) {
+	k, tr := newTransport(t)
+	_ = k
+	if _, err := tr.Ping(0, 0, 8); err == nil {
+		t.Error("self ping should error")
+	}
+}

@@ -1,0 +1,441 @@
+// Package scheduler models Frontier's Slurm configuration (§3.4.2):
+// exclusive whole-node allocation, a checknode health gate at boot and
+// between jobs, a unique Slingshot VNI per job step for traffic
+// isolation, EASY backfill, and topology-aware placement — small jobs
+// pack tightly into one dragonfly group to minimise global hops, large
+// jobs spread evenly across as many groups as possible to maximise the
+// global links available to minimal routing.
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"frontiersim/internal/fabric"
+	"frontiersim/internal/sim"
+	"frontiersim/internal/units"
+)
+
+// JobState is the lifecycle state of a job.
+type JobState int
+
+// Job states.
+const (
+	Pending JobState = iota
+	Running
+	Completed
+	Failed
+	Cancelled
+)
+
+// String implements fmt.Stringer.
+func (s JobState) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case Completed:
+		return "completed"
+	case Failed:
+		return "failed"
+	case Cancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("JobState(%d)", int(s))
+}
+
+// Job is one batch job.
+type Job struct {
+	ID       int
+	Name     string
+	Nodes    int
+	Walltime units.Seconds
+
+	State  JobState
+	Submit units.Seconds
+	Start  units.Seconds
+	End    units.Seconds
+	// Alloc is the exclusive node allocation.
+	Alloc []int
+	// VNI is the job step's Virtual Network Identifier.
+	VNI int
+	// OnComplete, if set, runs when the job finishes (any final state).
+	OnComplete func(*Job)
+
+	endEvent *sim.Event
+}
+
+// GroupsSpanned reports how many dragonfly groups the allocation touches.
+func (j *Job) GroupsSpanned(f *fabric.Fabric) int {
+	gs := map[int]bool{}
+	for _, n := range j.Alloc {
+		gs[f.EndpointGroup(f.NodeEndpoints(n)[0])] = true
+	}
+	return len(gs)
+}
+
+// Scheduler is the system-level batch scheduler.
+type Scheduler struct {
+	K *sim.Kernel
+	F *fabric.Fabric
+
+	nodesPerGroup int
+	groups        int
+	totalNodes    int
+
+	free      []bool // per node
+	freeCount int
+	unhealthy map[int]bool
+	queue     []*Job
+	running   map[int]*Job
+	nextJobID int
+	vni       *vniPool
+
+	// Stats.
+	Started, Finished, FailedJobs, HealthRejects int
+}
+
+// New builds a scheduler over the compute nodes of fabric f.
+func New(k *sim.Kernel, f *fabric.Fabric) *Scheduler {
+	total := f.Cfg.ComputeNodes()
+	s := &Scheduler{
+		K:             k,
+		F:             f,
+		nodesPerGroup: f.Cfg.NodesPerGroup(),
+		groups:        f.Cfg.ComputeGroups,
+		totalNodes:    total,
+		free:          make([]bool, total),
+		freeCount:     total,
+		unhealthy:     map[int]bool{},
+		running:       map[int]*Job{},
+		nextJobID:     1,
+		vni:           newVNIPool(1, 65535),
+	}
+	for i := range s.free {
+		s.free[i] = true
+	}
+	return s
+}
+
+// FreeNodes returns the count of idle healthy nodes.
+func (s *Scheduler) FreeNodes() int { return s.freeCount - s.unhealthyFreeCount() }
+
+func (s *Scheduler) unhealthyFreeCount() int {
+	n := 0
+	for node := range s.unhealthy {
+		if s.free[node] {
+			n++
+		}
+	}
+	return n
+}
+
+// MarkUnhealthy records a node as failing checknode; running jobs on it
+// fail immediately (compute nodes are scheduled exclusively, so only one
+// job can be affected).
+func (s *Scheduler) MarkUnhealthy(node int) {
+	if node < 0 || node >= s.totalNodes {
+		return
+	}
+	s.unhealthy[node] = true
+	for _, j := range s.running {
+		for _, n := range j.Alloc {
+			if n == node {
+				s.finish(j, Failed)
+				return
+			}
+		}
+	}
+}
+
+// MarkHealthy returns a repaired node to service.
+func (s *Scheduler) MarkHealthy(node int) {
+	delete(s.unhealthy, node)
+	s.trySchedule()
+}
+
+// Checknode is the health gate Slurm runs at boot and between jobs.
+func (s *Scheduler) Checknode(node int) bool { return !s.unhealthy[node] }
+
+// Submit enqueues a job and attempts to schedule. It returns the job so
+// callers can watch its state.
+func (s *Scheduler) Submit(name string, nodes int, walltime units.Seconds, onComplete func(*Job)) (*Job, error) {
+	if nodes < 1 || nodes > s.totalNodes {
+		return nil, fmt.Errorf("scheduler: job needs 1..%d nodes, got %d", s.totalNodes, nodes)
+	}
+	if walltime <= 0 {
+		return nil, fmt.Errorf("scheduler: walltime must be positive")
+	}
+	j := &Job{
+		ID:         s.nextJobID,
+		Name:       name,
+		Nodes:      nodes,
+		Walltime:   walltime,
+		State:      Pending,
+		Submit:     s.K.Now(),
+		OnComplete: onComplete,
+	}
+	s.nextJobID++
+	s.queue = append(s.queue, j)
+	s.trySchedule()
+	return j, nil
+}
+
+// Cancel removes a pending job or kills a running one.
+func (s *Scheduler) Cancel(j *Job) {
+	switch j.State {
+	case Pending:
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		j.State = Cancelled
+		if j.OnComplete != nil {
+			j.OnComplete(j)
+		}
+	case Running:
+		s.finish(j, Cancelled)
+	}
+}
+
+// Queue returns the pending jobs in order.
+func (s *Scheduler) Queue() []*Job { return append([]*Job(nil), s.queue...) }
+
+// Running returns the currently running jobs.
+func (s *Scheduler) Running() []*Job {
+	out := make([]*Job, 0, len(s.running))
+	for _, j := range s.running {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// trySchedule starts the queue head if it fits, then EASY-backfills: a
+// later job may jump ahead only if starting it now cannot delay the
+// head's reservation.
+func (s *Scheduler) trySchedule() {
+	for len(s.queue) > 0 {
+		if !s.start(s.queue[0]) {
+			break
+		}
+		s.queue = s.queue[1:]
+	}
+	if len(s.queue) == 0 {
+		return
+	}
+	head := s.queue[0]
+	resTime, nodesAtRes := s.reservation(head)
+	for i := 1; i < len(s.queue); {
+		j := s.queue[i]
+		fitsNow := j.Nodes <= s.FreeNodes()
+		noDelay := s.K.Now()+j.Walltime <= resTime || s.FreeNodes()-j.Nodes >= nodesAtRes
+		if fitsNow && noDelay && s.start(j) {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			continue
+		}
+		i++
+	}
+}
+
+// reservation estimates when the head job can start: walk running jobs by
+// end time accumulating freed nodes.
+func (s *Scheduler) reservation(head *Job) (units.Seconds, int) {
+	free := s.FreeNodes()
+	if free >= head.Nodes {
+		return s.K.Now(), head.Nodes
+	}
+	ends := make([]*Job, 0, len(s.running))
+	for _, j := range s.running {
+		ends = append(ends, j)
+	}
+	sort.Slice(ends, func(i, k int) bool { return ends[i].End < ends[k].End })
+	for _, j := range ends {
+		free += len(j.Alloc)
+		if free >= head.Nodes {
+			return j.End, head.Nodes
+		}
+	}
+	return s.K.Now() + head.Walltime, head.Nodes // unreachable in practice
+}
+
+// start attempts to place and launch a job; reports success.
+func (s *Scheduler) start(j *Job) bool {
+	alloc := s.place(j.Nodes)
+	if alloc == nil {
+		return false
+	}
+	vni, ok := s.vni.acquire()
+	if !ok {
+		return false
+	}
+	j.Alloc = alloc
+	j.VNI = vni
+	j.State = Running
+	j.Start = s.K.Now()
+	j.End = j.Start + j.Walltime
+	for _, n := range alloc {
+		s.free[n] = false
+	}
+	s.freeCount -= len(alloc)
+	s.running[j.ID] = j
+	s.Started++
+	j.endEvent = s.K.At(j.End, func() { s.finish(j, Completed) })
+	return true
+}
+
+func (s *Scheduler) finish(j *Job, state JobState) {
+	if j.State != Running {
+		return
+	}
+	if j.endEvent != nil {
+		j.endEvent.Cancel()
+	}
+	j.State = state
+	j.End = s.K.Now()
+	delete(s.running, j.ID)
+	for _, n := range j.Alloc {
+		// checknode between jobs: unhealthy nodes stay out of the pool
+		// but are still marked free so repairs can return them.
+		s.free[n] = true
+	}
+	s.freeCount += len(j.Alloc)
+	s.vni.release(j.VNI)
+	s.Finished++
+	if state == Failed {
+		s.FailedJobs++
+	}
+	if j.OnComplete != nil {
+		j.OnComplete(j)
+	}
+	s.trySchedule()
+}
+
+// place chooses nodes for a job of size n, or nil if it cannot fit now.
+func (s *Scheduler) place(n int) []int {
+	type groupFree struct{ id, free int }
+	gf := make([]groupFree, s.groups)
+	for g := range gf {
+		gf[g].id = g
+	}
+	for node := 0; node < s.totalNodes; node++ {
+		if s.free[node] && !s.unhealthy[node] {
+			gf[node/s.nodesPerGroup].free++
+		}
+	}
+	if n <= s.nodesPerGroup {
+		// Pack: best-fit group (smallest free count that fits) to keep
+		// large contiguous blocks available.
+		best := -1
+		for _, g := range gf {
+			if g.free >= n && (best == -1 || g.free < gf[best].free) {
+				best = g.id
+			}
+		}
+		if best >= 0 {
+			return s.takeFromGroup(best, n)
+		}
+		// No single group fits; fall through to spreading.
+	}
+	totalFree := 0
+	for _, g := range gf {
+		totalFree += g.free
+	}
+	if totalFree < n {
+		return nil
+	}
+	// Spread: allocate round-robin from the groups with the most free
+	// nodes so the job touches as many groups as evenly as possible.
+	sort.Slice(gf, func(i, k int) bool {
+		if gf[i].free != gf[k].free {
+			return gf[i].free > gf[k].free
+		}
+		return gf[i].id < gf[k].id
+	})
+	var alloc []int
+	remaining := n
+	// First pass: equal share per group.
+	groupsWithFree := 0
+	for _, g := range gf {
+		if g.free > 0 {
+			groupsWithFree++
+		}
+	}
+	share := (n + groupsWithFree - 1) / groupsWithFree
+	for _, g := range gf {
+		if remaining == 0 {
+			break
+		}
+		take := share
+		if take > g.free {
+			take = g.free
+		}
+		if take > remaining {
+			take = remaining
+		}
+		alloc = append(alloc, s.takeFromGroup(g.id, take)...)
+		remaining -= take
+	}
+	// Second pass: whatever is left, wherever it fits.
+	for node := 0; node < s.totalNodes && remaining > 0; node++ {
+		if s.free[node] && !s.unhealthy[node] && !contains(alloc, node) {
+			alloc = append(alloc, node)
+			remaining--
+		}
+	}
+	if remaining > 0 {
+		return nil
+	}
+	sort.Ints(alloc)
+	return alloc
+}
+
+func (s *Scheduler) takeFromGroup(g, n int) []int {
+	out := make([]int, 0, n)
+	start := g * s.nodesPerGroup
+	for node := start; node < start+s.nodesPerGroup && len(out) < n; node++ {
+		if s.free[node] && !s.unhealthy[node] {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// vniPool hands out unique Virtual Network Identifiers.
+type vniPool struct {
+	next, lo, hi int
+	inUse        map[int]bool
+}
+
+func newVNIPool(lo, hi int) *vniPool {
+	return &vniPool{next: lo, lo: lo, hi: hi, inUse: map[int]bool{}}
+}
+
+func (p *vniPool) acquire() (int, bool) {
+	for scanned := 0; scanned <= p.hi-p.lo; scanned++ {
+		v := p.next
+		p.next++
+		if p.next > p.hi {
+			p.next = p.lo
+		}
+		if !p.inUse[v] {
+			p.inUse[v] = true
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func (p *vniPool) release(v int) { delete(p.inUse, v) }

@@ -1,0 +1,219 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// time-dependent subsystem model: a virtual clock, an event calendar, seeded
+// random-number streams, and simple queued resources.
+//
+// The kernel is callback-based: an event is a function scheduled to run at a
+// virtual time. Ties are broken by insertion order so that runs are
+// deterministic for a fixed seed regardless of map iteration or goroutine
+// scheduling — the simulator never runs model code on more than one
+// goroutine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"frontiersim/internal/units"
+)
+
+// Time is a virtual timestamp in seconds since the start of the simulation.
+type Time = units.Seconds
+
+// Kernel is a discrete-event simulator instance.
+type Kernel struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+
+	// Executed counts events that have run; useful for tests and for
+	// guarding against runaway simulations.
+	executed uint64
+}
+
+// NewKernel returns a kernel whose random streams derive from seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Executed reports how many events have been dispatched so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Rand returns the kernel's root random stream.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Stream derives an independent, reproducible random stream for a named
+// model component. Distinct names give distinct streams; the same name gives
+// the same stream content for a fixed kernel seed.
+func (k *Kernel) Stream(name string) *rand.Rand {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	// Mix with the kernel's seed-derived value so different kernels
+	// (seeds) get different streams for the same name.
+	h ^= uint64(k.rng.Int63())
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+// Event is a handle to a scheduled event; it can be cancelled.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 once popped or cancelled
+	cancel bool
+}
+
+// Cancel prevents the event from running. Cancelling an already-executed or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.cancel = true }
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Time returns the virtual time the event is (or was) scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it is always a model bug.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn to run delay seconds from now.
+func (k *Kernel) After(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return k.At(k.now+delay, fn)
+}
+
+// Stop halts Run after the currently executing event returns.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run dispatches events until the calendar is empty or Stop is called.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for !k.stopped {
+		e := k.pop()
+		if e == nil {
+			return
+		}
+		k.now = e.at
+		k.executed++
+		e.fn()
+	}
+}
+
+// RunUntil dispatches events with timestamps <= horizon, then advances the
+// clock to horizon. Events scheduled beyond the horizon remain queued.
+func (k *Kernel) RunUntil(horizon Time) {
+	k.stopped = false
+	for !k.stopped {
+		e := k.peek()
+		if e == nil || e.at > horizon {
+			break
+		}
+		heap.Pop(&k.queue)
+		e.index = -1
+		if e.cancel {
+			continue
+		}
+		k.now = e.at
+		k.executed++
+		e.fn()
+	}
+	if k.now < horizon {
+		k.now = horizon
+	}
+}
+
+// Pending reports the number of queued (possibly cancelled) events.
+func (k *Kernel) Pending() int { return k.queue.Len() }
+
+func (k *Kernel) pop() *Event {
+	for k.queue.Len() > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		e.index = -1
+		if !e.cancel {
+			return e
+		}
+	}
+	return nil
+}
+
+func (k *Kernel) peek() *Event {
+	for k.queue.Len() > 0 {
+		e := k.queue[0]
+		if !e.cancel {
+			return e
+		}
+		heap.Pop(&k.queue)
+		e.index = -1
+	}
+	return nil
+}
+
+// eventHeap orders events by (time, insertion sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Every schedules fn at a fixed period starting one period from now,
+// returning a cancel function. The periodic sweeps of the fabric manager
+// and HPCM's discovery daemon are built on this shape.
+func (k *Kernel) Every(period Time, fn func()) (cancel func()) {
+	if period <= 0 {
+		panic("sim: period must be positive")
+	}
+	var e *Event
+	var tick func()
+	tick = func() {
+		fn()
+		e = k.After(period, tick)
+	}
+	e = k.After(period, tick)
+	return func() {
+		if e != nil {
+			e.Cancel()
+			e = nil
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	k.After(3, func() { got = append(got, 3) })
+	k.After(1, func() { got = append(got, 1) })
+	k.After(2, func() { got = append(got, 2) })
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 3 {
+		t.Errorf("Now = %v, want 3", k.Now())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	k := NewKernel(1)
+	ran := false
+	e := k.After(1, func() { ran = true })
+	e.Cancel()
+	k.Run()
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if !e.Cancelled() {
+		t.Error("Cancelled() should be true")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	k.At(1, func() { got = append(got, 1) })
+	k.At(5, func() { got = append(got, 5) })
+	k.RunUntil(3)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("got %v, want [1]", got)
+	}
+	if k.Now() != 3 {
+		t.Errorf("Now = %v, want 3", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", k.Pending())
+	}
+	k.Run()
+	if len(got) != 2 || got[1] != 5 {
+		t.Errorf("got %v, want [1 5]", got)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := NewKernel(1)
+	var times []Time
+	k.After(1, func() {
+		times = append(times, k.Now())
+		k.After(1, func() {
+			times = append(times, k.Now())
+		})
+	})
+	k.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 2 {
+		t.Errorf("times = %v, want [1 2]", times)
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.At(Time(i), func() {
+			count++
+			if count == 3 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.At(5, func() {})
+	k.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	k.At(1, func() {})
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a := NewKernel(42).Stream("nic")
+	b := NewKernel(42).Stream("nic")
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed + name should give identical streams")
+		}
+	}
+	c := NewKernel(42).Stream("gpu")
+	d := NewKernel(42).Stream("nic")
+	same := true
+	for i := 0; i < 10; i++ {
+		if c.Int63() != d.Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different names should give different streams")
+	}
+}
+
+// Property: any batch of events runs in nondecreasing time order.
+func TestMonotonicDispatchProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := NewKernel(7)
+		var ran []Time
+		for _, d := range delays {
+			k.After(Time(d), func() { ran = append(ran, k.Now()) })
+		}
+		k.Run()
+		if len(ran) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(ran, func(i, j int) bool { return ran[i] < ran[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResourceImmediateGrant(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, "sdma", 2)
+	granted := false
+	r.Acquire(2, func() { granted = true })
+	if !granted {
+		t.Fatal("acquire within capacity should grant immediately")
+	}
+	if r.InUse() != 2 {
+		t.Errorf("InUse = %d, want 2", r.InUse())
+	}
+	r.Release(2)
+	if r.InUse() != 0 {
+		t.Errorf("InUse after release = %d, want 0", r.InUse())
+	}
+}
+
+func TestResourceQueueing(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, "ctrl", 1)
+	var order []int
+	r.Acquire(1, func() { order = append(order, 0) })
+	r.Acquire(1, func() { order = append(order, 1) })
+	r.Acquire(1, func() { order = append(order, 2) })
+	if r.Queued() != 2 {
+		t.Fatalf("Queued = %d, want 2", r.Queued())
+	}
+	r.Release(1)
+	r.Release(1)
+	r.Release(1)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("grant order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestResourceNoOvertaking(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, "bulk", 4)
+	r.Acquire(3, func() {})
+	bigGranted := false
+	smallGranted := false
+	r.Acquire(4, func() { bigGranted = true })   // must wait
+	r.Acquire(1, func() { smallGranted = true }) // would fit, but queued behind big
+	if bigGranted || smallGranted {
+		t.Fatal("neither queued acquire should be granted yet")
+	}
+	r.Release(3)
+	if !bigGranted {
+		t.Error("big request should be granted after release")
+	}
+	if smallGranted {
+		t.Error("small request must not overtake")
+	}
+	r.Release(4)
+	if !smallGranted {
+		t.Error("small request should be granted eventually")
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, "u", 1)
+	k.At(0, func() {
+		r.Acquire(1, func() {})
+		k.After(5, func() { r.Release(1) })
+	})
+	k.At(10, func() {})
+	k.Run()
+	if u := r.Utilization(); u < 0.49 || u > 0.51 {
+		t.Errorf("Utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestResourceInvalidOps(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, "x", 2)
+	mustPanic(t, "acquire 0", func() { r.Acquire(0, func() {}) })
+	mustPanic(t, "acquire > cap", func() { r.Acquire(3, func() {}) })
+	mustPanic(t, "release idle", func() { r.Release(1) })
+	mustPanic(t, "zero capacity", func() { NewResource(k, "y", 0) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestEvery(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	cancel := k.Every(10, func() { count++ })
+	k.RunUntil(35)
+	if count != 3 {
+		t.Errorf("ticks = %d, want 3", count)
+	}
+	cancel()
+	k.RunUntil(100)
+	if count != 3 {
+		t.Errorf("ticks after cancel = %d, want 3", count)
+	}
+	mustPanic(t, "zero period", func() { k.Every(0, func() {}) })
+}

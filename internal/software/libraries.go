@@ -1,0 +1,74 @@
+package software
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Library is one tuned numerical or communication library (§3.4.3).
+type Library struct {
+	Name  string
+	Stack Stack
+	// Domain is the functional area: "blas", "lapack", "fft", "sparse",
+	// "ml", "comm", "mixed-precision".
+	Domain string
+	// CompatFor is the NVIDIA "cu*" library this "hip*" wrapper mirrors
+	// ("" for native libraries). The hip layer is thin: it dispatches
+	// to the vendor backend named in Backend.
+	CompatFor string
+	// Backend is the vendor-optimised library a compat wrapper calls.
+	Backend string
+}
+
+// IsCompatLayer reports whether the library is a thin hip wrapper.
+func (l Library) IsCompatLayer() bool { return l.CompatFor != "" }
+
+// FrontierLibraries returns the library suite the paper describes: the
+// ROCm stack ships both "hip"-branded compatibility layers (interfaces
+// similar to the corresponding "cu" libraries) and the "roc" backends
+// they call; CPE adds CPU/GPU-tuned scientific libraries.
+func FrontierLibraries() []Library {
+	return []Library{
+		// ROCm compat wrappers and their backends.
+		{Name: "hipblas", Stack: ROCm, Domain: "blas", CompatFor: "cublas", Backend: "rocblas"},
+		{Name: "rocblas", Stack: ROCm, Domain: "blas"},
+		{Name: "hipsolver", Stack: ROCm, Domain: "lapack", CompatFor: "cusolver", Backend: "rocsolver"},
+		{Name: "rocsolver", Stack: ROCm, Domain: "lapack"},
+		{Name: "hipfft", Stack: ROCm, Domain: "fft", CompatFor: "cufft", Backend: "rocfft"},
+		{Name: "rocfft", Stack: ROCm, Domain: "fft"},
+		{Name: "hipsparse", Stack: ROCm, Domain: "sparse", CompatFor: "cusparse", Backend: "rocsparse"},
+		{Name: "rocsparse", Stack: ROCm, Domain: "sparse"},
+		{Name: "miopen", Stack: ROCm, Domain: "ml"},
+		{Name: "rccl", Stack: ROCm, Domain: "comm", CompatFor: "nccl", Backend: "rccl"},
+		// CPE scientific libraries.
+		{Name: "cray-libsci", Stack: CPE, Domain: "blas"},
+		{Name: "cray-fftw", Stack: CPE, Domain: "fft"},
+		{Name: "cray-mpich", Stack: CPE, Domain: "comm"},
+	}
+}
+
+// LibrariesFor returns the libraries of a domain, sorted by name.
+func LibrariesFor(domain string) []Library {
+	var out []Library
+	for _, l := range FrontierLibraries() {
+		if l.Domain == domain {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// PortLibrary maps a CUDA-stack library call to its Frontier equivalent:
+// the porting recipe the CAAR teams followed (LSMS: cuSolver →
+// hipSolver/rocSolver; GESTS: cuFFT-era code → rocFFT; etc.).
+func PortLibrary(cudaLib string) (Library, error) {
+	want := strings.ToLower(cudaLib)
+	for _, l := range FrontierLibraries() {
+		if l.CompatFor == want {
+			return l, nil
+		}
+	}
+	return Library{}, fmt.Errorf("software: no Frontier equivalent registered for %q", cudaLib)
+}

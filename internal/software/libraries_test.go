@@ -1,0 +1,84 @@
+package software
+
+import "testing"
+
+// "The ROCm stack includes two versions of many libraries. The
+// 'hip'-branded libraries are thin compatibility layers offering
+// interfaces similar to the corresponding NVIDIA 'cu' libraries that
+// call vendor-optimized backend device libraries."
+func TestCompatLayerStructure(t *testing.T) {
+	for _, l := range FrontierLibraries() {
+		if !l.IsCompatLayer() {
+			continue
+		}
+		if l.Backend == "" {
+			t.Errorf("%s: compat layer needs a backend", l.Name)
+		}
+		// Every backend must itself be registered (except self-named
+		// ones like rccl).
+		if l.Backend == l.Name {
+			continue
+		}
+		found := false
+		for _, b := range FrontierLibraries() {
+			if b.Name == l.Backend && !b.IsCompatLayer() {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: backend %s not registered as a native library", l.Name, l.Backend)
+		}
+	}
+}
+
+func TestDomainsCovered(t *testing.T) {
+	// The paper lists BLAS, LAPACK, FFT, sparse linear algebra, plus
+	// communication and mixed-precision/ML primitives.
+	for _, domain := range []string{"blas", "lapack", "fft", "sparse", "comm", "ml"} {
+		if len(LibrariesFor(domain)) == 0 {
+			t.Errorf("no libraries for domain %q", domain)
+		}
+	}
+}
+
+// The CAAR porting recipe: cuSolver → hipSolver (LSMS), cuFFT → hipFFT
+// (GESTS uses rocFFT directly), cuBLAS → hipBLAS (CoralGemm).
+func TestPortLibrary(t *testing.T) {
+	cases := map[string]string{
+		"cublas":   "hipblas",
+		"cusolver": "hipsolver",
+		"cufft":    "hipfft",
+		"cusparse": "hipsparse",
+		"nccl":     "rccl",
+	}
+	for cuda, want := range cases {
+		got, err := PortLibrary(cuda)
+		if err != nil {
+			t.Fatalf("PortLibrary(%s): %v", cuda, err)
+		}
+		if got.Name != want {
+			t.Errorf("PortLibrary(%s) = %s, want %s", cuda, got.Name, want)
+		}
+		if got.Stack != ROCm {
+			t.Errorf("%s should live in the ROCm stack", got.Name)
+		}
+	}
+	if _, err := PortLibrary("cudnn"); err == nil {
+		t.Error("unregistered library should error")
+	}
+}
+
+func TestCPELibrariesPresent(t *testing.T) {
+	found := 0
+	for _, l := range FrontierLibraries() {
+		if l.Stack == CPE {
+			found++
+			if l.IsCompatLayer() {
+				t.Errorf("%s: CPE libraries are native, not compat layers", l.Name)
+			}
+		}
+	}
+	if found < 3 {
+		t.Errorf("CPE libraries = %d, want >= 3 (libsci, fftw, mpich)", found)
+	}
+}

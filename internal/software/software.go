@@ -1,0 +1,173 @@
+// Package software encodes Frontier's programming environment (§3.4.3):
+// the two vendor stacks (HPE's Cray Programming Environment and AMD's
+// ROCm), the OLCF-supplied additions, their compilers with language and
+// directive-model support levels, and the debugging and performance
+// tools — queryable the way a user would interrogate `module avail`.
+package software
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stack identifies a software provider.
+type Stack string
+
+// The stacks available on Frontier.
+const (
+	CPE  Stack = "cray-pe" // HPE Cray Programming Environment
+	ROCm Stack = "rocm"    // AMD Radeon Open Ecosystem
+	OLCF Stack = "olcf"    // facility-installed additions (incl. ECP)
+)
+
+// Language is a programming language.
+type Language string
+
+// Supported languages.
+const (
+	C       Language = "c"
+	CPP     Language = "c++"
+	Fortran Language = "fortran"
+)
+
+// OffloadModel is a GPU-offload programming model.
+type OffloadModel string
+
+// Offload models discussed in the paper.
+const (
+	HIP      OffloadModel = "hip"     // AMD's CUDA work-alike
+	OpenMP   OffloadModel = "openmp"  // the leading standards-based model
+	OpenACC  OffloadModel = "openacc" // no vendor commitment on Frontier
+	SYCL     OffloadModel = "sycl"    // pilot DPC++ port with ALCF/Codeplay
+	Kokkos   OffloadModel = "kokkos"  // portability layer used by many apps
+	CUDALike OffloadModel = "cuda"    // not available: NVIDIA-only
+)
+
+// Compiler is one compiler in one stack.
+type Compiler struct {
+	Name      string
+	Stack     Stack
+	Languages []Language
+	// LLVMBased reports whether the C/C++ front end is LLVM-derived
+	// (both vendor C/C++ compilers are; Cray Fortran is not).
+	LLVMBased bool
+	// OpenMPVersions lists supported OpenMP specs ("5.0", "5.1", ...).
+	OpenMPVersions []string
+	// OpenACCVersion is the newest supported OpenACC spec, "" if none.
+	OpenACCVersion string
+	// Offload reports whether GPU offload is production quality.
+	Offload bool
+}
+
+// Tool is a debugging or performance tool.
+type Tool struct {
+	Name    string
+	Stack   Stack
+	Purpose string // "debug" or "performance"
+}
+
+// Environment is the queryable programming environment.
+type Environment struct {
+	Compilers []Compiler
+	Tools     []Tool
+}
+
+// Frontier returns the environment as the paper describes it.
+func Frontier() *Environment {
+	return &Environment{
+		Compilers: []Compiler{
+			{Name: "cce-c/c++", Stack: CPE, Languages: []Language{C, CPP}, LLVMBased: true,
+				OpenMPVersions: []string{"5.0", "5.1", "5.2(partial)"}, Offload: true},
+			{Name: "cce-fortran", Stack: CPE, Languages: []Language{Fortran}, LLVMBased: false,
+				OpenMPVersions: []string{"5.0", "5.1", "5.2(partial)"}, OpenACCVersion: "2.0", Offload: true},
+			{Name: "amdclang", Stack: ROCm, Languages: []Language{C, CPP}, LLVMBased: true,
+				OpenMPVersions: []string{"5.0", "5.1", "5.2(partial)"}, Offload: true},
+			{Name: "amdflang", Stack: ROCm, Languages: []Language{Fortran}, LLVMBased: true,
+				OpenMPVersions: []string{"5.0(partial)"}, Offload: true}, // "classic" Flang; lags
+			{Name: "gcc", Stack: OLCF, Languages: []Language{C, CPP, Fortran}, LLVMBased: false,
+				OpenMPVersions: []string{"5.0(near-complete)", "5.1(in-progress)"}, OpenACCVersion: "2.6", Offload: true},
+			{Name: "dpc++", Stack: OLCF, Languages: []Language{CPP}, LLVMBased: true, Offload: true}, // SYCL pilot
+		},
+		Tools: []Tool{
+			{Name: "rocgdb", Stack: ROCm, Purpose: "debug"},
+			{Name: "gdb4hpc", Stack: CPE, Purpose: "debug"},
+			{Name: "stat", Stack: CPE, Purpose: "debug"},
+			{Name: "atp", Stack: CPE, Purpose: "debug"},
+			{Name: "ddt", Stack: OLCF, Purpose: "debug"}, // Linaro Forge
+			{Name: "rocprof", Stack: ROCm, Purpose: "performance"},
+			{Name: "pat", Stack: CPE, Purpose: "performance"},
+			{Name: "reveal", Stack: CPE, Purpose: "performance"},
+			{Name: "hpctoolkit", Stack: OLCF, Purpose: "performance"},
+			{Name: "tau", Stack: OLCF, Purpose: "performance"},
+			{Name: "score-p", Stack: OLCF, Purpose: "performance"},
+			{Name: "vampir", Stack: OLCF, Purpose: "performance"},
+			{Name: "map", Stack: OLCF, Purpose: "performance"}, // Linaro Forge
+		},
+	}
+}
+
+// CompilersFor lists compilers supporting the language, sorted by name.
+func (e *Environment) CompilersFor(lang Language) []Compiler {
+	var out []Compiler
+	for _, c := range e.Compilers {
+		for _, l := range c.Languages {
+			if l == lang {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SupportsOpenMP reports whether the named compiler supports the given
+// OpenMP version at least partially.
+func (e *Environment) SupportsOpenMP(compiler, version string) bool {
+	for _, c := range e.Compilers {
+		if c.Name != compiler {
+			continue
+		}
+		for _, v := range c.OpenMPVersions {
+			if strings.HasPrefix(v, version) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// OffloadPath recommends the offload model for a porting scenario, per
+// the paper's narrative: CUDA codes move to HIP; directive codes move to
+// OpenMP (OpenACC has no vendor commitment and only gcc carries it
+// forward); portability layers keep their backends.
+func OffloadPath(comingFrom OffloadModel) (OffloadModel, string) {
+	switch comingFrom {
+	case CUDALike:
+		return HIP, "HIP is an open-source work-alike to CUDA; kernels translate nearly 1:1"
+	case OpenACC:
+		return OpenMP, "no vendor OpenACC commitment on Frontier; gcc offers 2.6 as a bridge"
+	case OpenMP, HIP, Kokkos, SYCL:
+		return comingFrom, "already supported on Frontier"
+	}
+	return OpenMP, "OpenMP is the leading standards-based offload model on Frontier"
+}
+
+// ToolsFor lists tools by purpose, sorted by name.
+func (e *Environment) ToolsFor(purpose string) []Tool {
+	var out []Tool
+	for _, t := range e.Tools {
+		if t.Purpose == purpose {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// String summarises the environment.
+func (e *Environment) String() string {
+	return fmt.Sprintf("frontier programming environment: %d compilers, %d tools (stacks: cray-pe, rocm, olcf)",
+		len(e.Compilers), len(e.Tools))
+}

@@ -1,0 +1,137 @@
+package software
+
+import (
+	"testing"
+)
+
+func TestEnvironmentShape(t *testing.T) {
+	e := Frontier()
+	if len(e.Compilers) < 6 {
+		t.Errorf("compilers = %d, want >= 6", len(e.Compilers))
+	}
+	if len(e.Tools) < 12 {
+		t.Errorf("tools = %d, want >= 12", len(e.Tools))
+	}
+	if e.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+// "The C and C++ compilers in both stacks are based on the open-source
+// LLVM compiler suite. Cray's Fortran compiler is not LLVM-based."
+func TestLLVMBasis(t *testing.T) {
+	e := Frontier()
+	for _, c := range e.CompilersFor(CPP) {
+		if (c.Stack == CPE || c.Stack == ROCm) && !c.LLVMBased {
+			t.Errorf("%s: vendor C++ compilers are LLVM-based", c.Name)
+		}
+	}
+	for _, c := range e.Compilers {
+		if c.Name == "cce-fortran" && c.LLVMBased {
+			t.Error("Cray Fortran is not LLVM-based")
+		}
+	}
+}
+
+// "The compilers generally support most features of OpenMP 5.0, 5.1 and
+// 5.2 at present"; ROCm's Fortran lags.
+func TestOpenMPSupport(t *testing.T) {
+	e := Frontier()
+	for _, name := range []string{"cce-c/c++", "amdclang"} {
+		for _, v := range []string{"5.0", "5.1", "5.2"} {
+			if !e.SupportsOpenMP(name, v) {
+				t.Errorf("%s should support OpenMP %s", name, v)
+			}
+		}
+	}
+	if e.SupportsOpenMP("amdflang", "5.2") {
+		t.Error("classic Flang lags in OpenMP features")
+	}
+	if e.SupportsOpenMP("no-such-compiler", "5.0") {
+		t.Error("unknown compiler should report false")
+	}
+}
+
+// "Cray Fortran supports OpenACC 2.0 ... The gcc compiler suite is the
+// main vehicle for teams requiring OpenACC on Frontier (2.6)."
+func TestOpenACCStory(t *testing.T) {
+	e := Frontier()
+	var cray, gcc Compiler
+	for _, c := range e.Compilers {
+		switch c.Name {
+		case "cce-fortran":
+			cray = c
+		case "gcc":
+			gcc = c
+		}
+	}
+	if cray.OpenACCVersion != "2.0" {
+		t.Errorf("cray fortran OpenACC = %q, want 2.0 (from 2013)", cray.OpenACCVersion)
+	}
+	if gcc.OpenACCVersion != "2.6" {
+		t.Errorf("gcc OpenACC = %q, want 2.6", gcc.OpenACCVersion)
+	}
+	// No vendor C/C++ compiler carries OpenACC.
+	for _, c := range e.Compilers {
+		if (c.Stack == CPE || c.Stack == ROCm) && c.OpenACCVersion != "" && c.Name != "cce-fortran" {
+			t.Errorf("%s should not advertise OpenACC", c.Name)
+		}
+	}
+}
+
+// The porting narrative: Titan/Summit CUDA codes move to HIP; OpenACC
+// users move to OpenMP.
+func TestOffloadPaths(t *testing.T) {
+	cases := map[OffloadModel]OffloadModel{
+		CUDALike: HIP,
+		OpenACC:  OpenMP,
+		OpenMP:   OpenMP,
+		HIP:      HIP,
+		Kokkos:   Kokkos,
+		SYCL:     SYCL,
+	}
+	for from, want := range cases {
+		got, why := OffloadPath(from)
+		if got != want {
+			t.Errorf("OffloadPath(%s) = %s, want %s", from, got, want)
+		}
+		if why == "" {
+			t.Errorf("OffloadPath(%s): missing rationale", from)
+		}
+	}
+	if got, _ := OffloadPath(OffloadModel("mystery")); got != OpenMP {
+		t.Error("unknown models should default to OpenMP")
+	}
+}
+
+func TestFortranAvailability(t *testing.T) {
+	e := Frontier()
+	fortran := e.CompilersFor(Fortran)
+	if len(fortran) != 3 {
+		t.Errorf("fortran compilers = %d, want 3 (cce, amdflang, gcc)", len(fortran))
+	}
+}
+
+func TestToolRoster(t *testing.T) {
+	e := Frontier()
+	debug := e.ToolsFor("debug")
+	perf := e.ToolsFor("performance")
+	if len(debug) < 4 {
+		t.Errorf("debug tools = %d, want >= 4 (rocgdb, gdb4hpc, stat, atp, ddt)", len(debug))
+	}
+	if len(perf) < 6 {
+		t.Errorf("performance tools = %d, want >= 6", len(perf))
+	}
+	names := map[string]bool{}
+	for _, tool := range append(debug, perf...) {
+		if names[tool.Name] {
+			t.Errorf("duplicate tool %s", tool.Name)
+		}
+		names[tool.Name] = true
+	}
+	for _, want := range []string{"rocprof", "hpctoolkit", "tau", "score-p", "vampir"} {
+		if !names[want] {
+			t.Errorf("missing tool %s", want)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package storage
+
+import (
+	"fmt"
+
+	"frontiersim/internal/units"
+)
+
+// BurstBuffer models the two use cases the paper gives for the
+// user-managed node-local storage (§3.3): caching checkpoint writes from
+// modelling/simulation jobs (absorb at NVMe speed, drain to Orion in the
+// background) and caching training-set reads for machine-learning jobs
+// (first epoch from Orion, later epochs from NVMe).
+type BurstBuffer struct {
+	Local *NodeLocalStore
+	PFS   *Orion
+	// Nodes is the job's node count; local bandwidth scales with it.
+	Nodes int
+}
+
+// NewBurstBuffer builds the burst-buffer view for an n-node job.
+func NewBurstBuffer(n int) *BurstBuffer {
+	return &BurstBuffer{Local: NewNodeLocalStore(), PFS: NewOrion(), Nodes: n}
+}
+
+// localWrite is the job's aggregate NVMe write rate.
+func (b *BurstBuffer) localWrite() units.BytesPerSecond {
+	return b.Local.SeqWrite() * units.BytesPerSecond(b.Nodes)
+}
+
+// localRead is the job's aggregate NVMe read rate.
+func (b *BurstBuffer) localRead() units.BytesPerSecond {
+	return b.Local.SeqRead() * units.BytesPerSecond(b.Nodes)
+}
+
+// CheckpointWrite reports the application-visible time to absorb a
+// checkpoint of the given size into the node-local tier, and the
+// additional background time to drain it to Orion's capacity tier. The
+// application resumes computing after the absorb; the drain overlaps.
+func (b *BurstBuffer) CheckpointWrite(size units.Bytes) (absorb, drain units.Seconds, err error) {
+	if size <= 0 {
+		return 0, 0, fmt.Errorf("storage: checkpoint size must be positive")
+	}
+	perNode := size / units.Bytes(b.Nodes)
+	if perNode > b.Local.Capacity()/2 {
+		// Keep two checkpoints resident (current + draining).
+		return 0, 0, fmt.Errorf("storage: checkpoint %v per node exceeds half of the %v NVMe",
+			perNode, b.Local.Capacity())
+	}
+	absorb = units.TimeToMove(size, b.localWrite())
+	drain = units.TimeToMove(size, b.PFS.StreamBandwidth(1*units.TB, true))
+	return absorb, drain, nil
+}
+
+// CheckpointSpeedup is the factor by which the burst buffer shortens the
+// application-visible checkpoint stall relative to writing Orion
+// directly.
+func (b *BurstBuffer) CheckpointSpeedup(size units.Bytes) float64 {
+	absorb, _, err := b.CheckpointWrite(size)
+	if err != nil || absorb <= 0 {
+		return 1
+	}
+	direct := units.TimeToMove(size, b.PFS.StreamBandwidth(1*units.TB, true))
+	return float64(direct) / float64(absorb)
+}
+
+// EpochRead reports per-epoch read time for an ML job with the given
+// dataset: epoch 1 streams from Orion while populating the cache;
+// later epochs stream from NVMe.
+func (b *BurstBuffer) EpochRead(dataset units.Bytes, epoch int) (units.Seconds, error) {
+	if dataset <= 0 || epoch < 1 {
+		return 0, fmt.Errorf("storage: need positive dataset and epoch")
+	}
+	if dataset/units.Bytes(b.Nodes) > b.Local.Capacity() {
+		// Doesn't fit: every epoch hits the PFS.
+		return units.TimeToMove(dataset, b.PFS.StreamBandwidth(100*units.GB, false)), nil
+	}
+	if epoch == 1 {
+		return units.TimeToMove(dataset, b.PFS.StreamBandwidth(100*units.GB, false)), nil
+	}
+	return units.TimeToMove(dataset, b.localRead()), nil
+}
+
+// TrainingSpeedup is the steady-state per-epoch read speedup once the
+// cache is warm.
+func (b *BurstBuffer) TrainingSpeedup(dataset units.Bytes) float64 {
+	first, err := b.EpochRead(dataset, 1)
+	if err != nil {
+		return 1
+	}
+	later, err := b.EpochRead(dataset, 2)
+	if err != nil || later <= 0 {
+		return 1
+	}
+	return float64(first) / float64(later)
+}

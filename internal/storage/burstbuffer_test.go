@@ -1,0 +1,100 @@
+package storage
+
+import (
+	"math"
+	"testing"
+
+	"frontiersim/internal/units"
+)
+
+func TestCheckpointWriteAbsorbsFaster(t *testing.T) {
+	bb := NewBurstBuffer(9472)
+	size := 700 * units.TiB
+	absorb, drain, err := bb.CheckpointWrite(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate NVMe write is ~39.8 TB/s vs Orion's ~4.3 TB/s: the
+	// stall should shrink by roughly that ratio.
+	if absorb >= drain {
+		t.Errorf("absorb %v should beat drain %v", absorb, drain)
+	}
+	speedup := bb.CheckpointSpeedup(size)
+	if speedup < 8 || speedup > 11 {
+		t.Errorf("checkpoint speedup = %.1f, want ~9 (39.8/4.3)", speedup)
+	}
+	// The absorb of 700 TiB across the machine takes ~20 s.
+	if float64(absorb) < 10 || float64(absorb) > 40 {
+		t.Errorf("absorb = %v, want ~20 s", absorb)
+	}
+}
+
+func TestCheckpointCapacityGuard(t *testing.T) {
+	bb := NewBurstBuffer(2)
+	if _, _, err := bb.CheckpointWrite(10 * units.TB); err == nil {
+		t.Error("oversized checkpoint should error (two residents must fit)")
+	}
+	if _, _, err := bb.CheckpointWrite(0); err == nil {
+		t.Error("zero-size checkpoint should error")
+	}
+	if bb.CheckpointSpeedup(10*units.TB) != 1 {
+		t.Error("errored speedup should be 1")
+	}
+}
+
+func TestMLEpochCaching(t *testing.T) {
+	bb := NewBurstBuffer(1000)
+	dataset := 1 * units.PB // 1 TB per node: fits the 3.5 TB NVMe
+	first, err := bb.EpochRead(dataset, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := bb.EpochRead(dataset, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second >= first {
+		t.Errorf("warm epoch %v should beat cold epoch %v", second, first)
+	}
+	// 1000 nodes x 7.1 GB/s = 7.1 TB/s local vs ~5 TB/s Orion read.
+	sp := bb.TrainingSpeedup(dataset)
+	if sp < 1.2 || sp > 2.0 {
+		t.Errorf("training speedup = %.2f, want modest >1", sp)
+	}
+}
+
+func TestMLDatasetTooBigFallsBack(t *testing.T) {
+	bb := NewBurstBuffer(10)
+	huge := 100 * units.PB
+	first, _ := bb.EpochRead(huge, 1)
+	second, _ := bb.EpochRead(huge, 2)
+	if math.Abs(float64(first-second)) > 1e-9 {
+		t.Error("uncacheable dataset should read from PFS every epoch")
+	}
+	if bb.TrainingSpeedup(huge) != 1 {
+		t.Error("uncacheable dataset speedup should be 1")
+	}
+	if _, err := bb.EpochRead(0, 1); err == nil {
+		t.Error("zero dataset should error")
+	}
+	if _, err := bb.EpochRead(units.GB, 0); err == nil {
+		t.Error("epoch 0 should error")
+	}
+}
+
+func TestBurstBufferScalesWithNodes(t *testing.T) {
+	small := NewBurstBuffer(100)
+	big := NewBurstBuffer(1000)
+	size := 10 * units.TB
+	a1, _, err := small.CheckpointWrite(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, err := big.CheckpointWrite(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(a1) / float64(a2); math.Abs(ratio-10) > 0.01 {
+		t.Errorf("absorb scaling = %.1f, want 10x", ratio)
+	}
+}

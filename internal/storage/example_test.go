@@ -1,0 +1,29 @@
+package storage_test
+
+import (
+	"fmt"
+
+	"frontiersim/internal/storage"
+	"frontiersim/internal/units"
+)
+
+// Where do a file's bytes land under Orion's Progressive File Layout?
+func ExampleOrion_SplitFile() {
+	o := storage.NewOrion()
+	dom, flash, disk := o.SplitFile(100 * units.MB)
+	fmt.Println("metadata (DoM):", dom)
+	fmt.Println("flash tier:", flash)
+	fmt.Println("capacity tier:", disk)
+	// Output:
+	// metadata (DoM): 256KB
+	// flash tier: 7.74MB
+	// capacity tier: 92.0MB
+}
+
+// The full-machine checkpoint the paper sizes: ~700 TiB in ~180 s.
+func ExampleOrion_IngestTime() {
+	o := storage.NewOrion()
+	fmt.Println(o.IngestTime(700 * units.TiB))
+	// Output:
+	// 3.0min
+}

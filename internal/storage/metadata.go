@@ -1,0 +1,107 @@
+package storage
+
+import (
+	"fmt"
+
+	"frontiersim/internal/units"
+)
+
+// MetadataModel captures Orion's flash-backed metadata service: the
+// paper's stated intent for Data-on-Metadata is "to cache really small
+// files in the metadata servers such that the contents are returned when
+// the file is opened without having to then contact an object server" —
+// one RPC instead of two, and flash latency instead of disk.
+type MetadataModel struct {
+	// Servers is the MDS count.
+	Servers int
+	// OpenRate, CreateRate, StatRate are per-server operation rates.
+	OpenRate, CreateRate, StatRate float64
+	// RPCLatency is one client↔server round trip over the fabric.
+	RPCLatency units.Seconds
+	// FlashReadLatency is the device-side latency of a DoM read.
+	FlashReadLatency units.Seconds
+	// OSTReadLatency is the extra object-server hop for non-DoM data
+	// (queueing plus device access on the performance/capacity tiers).
+	OSTReadLatency units.Seconds
+}
+
+// FrontierMetadata returns Orion's metadata configuration.
+func FrontierMetadata() MetadataModel {
+	return MetadataModel{
+		Servers:          40,
+		OpenRate:         25e3,
+		CreateRate:       15e3,
+		StatRate:         60e3,
+		RPCLatency:       12 * units.Microsecond,
+		FlashReadLatency: 90 * units.Microsecond,
+		OSTReadLatency:   350 * units.Microsecond,
+	}
+}
+
+// OpKind is a metadata operation class.
+type OpKind int
+
+// Metadata operation kinds.
+const (
+	Open OpKind = iota
+	Create
+	Stat
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case Open:
+		return "open"
+	case Create:
+		return "create"
+	case Stat:
+		return "stat"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// AggregateRate is the file-system-wide rate for an operation class.
+func (m MetadataModel) AggregateRate(k OpKind) float64 {
+	per := 0.0
+	switch k {
+	case Open:
+		per = m.OpenRate
+	case Create:
+		per = m.CreateRate
+	case Stat:
+		per = m.StatRate
+	}
+	return per * float64(m.Servers)
+}
+
+// OpenAndReadLatency models opening a file and reading its first bytes.
+// Files within the DoM threshold are served entirely by the metadata
+// server's flash in the open reply — one RPC; anything larger pays a
+// second hop to an object server.
+func (o *Orion) OpenAndReadLatency(m MetadataModel, size units.Bytes) units.Seconds {
+	if size <= 0 {
+		return m.RPCLatency // open of an empty file
+	}
+	if size <= o.DoMLimit {
+		transfer := units.TimeToMove(size, o.Tiers[MetadataTier].MeasuredRead())
+		return m.RPCLatency + m.FlashReadLatency + transfer
+	}
+	dom, perf, capT := o.SplitFile(size)
+	transfer := units.TimeToMove(dom, o.Tiers[MetadataTier].MeasuredRead()) +
+		units.TimeToMove(perf, o.Tiers[PerformanceTier].MeasuredRead()) +
+		units.TimeToMove(capT, o.Tiers[CapacityTier].MeasuredRead())
+	return 2*m.RPCLatency + m.FlashReadLatency + m.OSTReadLatency + transfer
+}
+
+// SmallFileAdvantage reports the latency ratio between opening+reading a
+// just-over-DoM file and a just-under-DoM file — the cliff the PFL
+// layout is designed around.
+func (o *Orion) SmallFileAdvantage(m MetadataModel) float64 {
+	under := o.OpenAndReadLatency(m, o.DoMLimit)
+	over := o.OpenAndReadLatency(m, o.DoMLimit+units.Bytes(1*units.KB))
+	if under <= 0 {
+		return 1
+	}
+	return float64(over) / float64(under)
+}

@@ -1,0 +1,57 @@
+package storage
+
+import (
+	"testing"
+
+	"frontiersim/internal/units"
+)
+
+func TestDoMSingleRPCAdvantage(t *testing.T) {
+	o := NewOrion()
+	m := FrontierMetadata()
+	small := o.OpenAndReadLatency(m, 200*units.KB) // within DoM
+	big := o.OpenAndReadLatency(m, 300*units.KB)   // spills to flash tier
+	if small >= big {
+		t.Errorf("DoM open+read %v should beat the two-RPC path %v", small, big)
+	}
+	adv := o.SmallFileAdvantage(m)
+	if adv < 1.5 {
+		t.Errorf("small-file advantage = %.2fx, want a visible cliff (>1.5x)", adv)
+	}
+	// Both are sub-millisecond: this is a latency optimisation, not a
+	// bandwidth one.
+	if float64(big) > 2e-3 {
+		t.Errorf("over-DoM open = %v, want sub-ms", big)
+	}
+}
+
+func TestOpenLatencyMonotoneInSize(t *testing.T) {
+	o := NewOrion()
+	m := FrontierMetadata()
+	prev := units.Seconds(0)
+	for _, size := range []units.Bytes{0, 64 * units.KB, 256 * units.KB, units.MB, 100 * units.MB} {
+		lat := o.OpenAndReadLatency(m, size)
+		if lat < prev {
+			t.Errorf("latency not monotone at %v: %v < %v", size, lat, prev)
+		}
+		prev = lat
+	}
+}
+
+func TestMetadataAggregateRates(t *testing.T) {
+	m := FrontierMetadata()
+	if m.AggregateRate(Open) != 25e3*40 {
+		t.Errorf("open rate = %v", m.AggregateRate(Open))
+	}
+	if m.AggregateRate(Create) >= m.AggregateRate(Stat) {
+		t.Error("creates are heavier than stats")
+	}
+	for _, k := range []OpKind{Open, Create, Stat, OpKind(9)} {
+		if k.String() == "" {
+			t.Error("empty op name")
+		}
+	}
+	if m.AggregateRate(OpKind(9)) != 0 {
+		t.Error("unknown op should have zero rate")
+	}
+}

@@ -1,0 +1,209 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+
+	"frontiersim/internal/units"
+)
+
+// TierKind names Orion's three tiers.
+type TierKind int
+
+// Orion tiers.
+const (
+	MetadataTier TierKind = iota
+	PerformanceTier
+	CapacityTier
+)
+
+// String implements fmt.Stringer.
+func (t TierKind) String() string {
+	switch t {
+	case MetadataTier:
+		return "metadata"
+	case PerformanceTier:
+		return "performance"
+	case CapacityTier:
+		return "capacity"
+	}
+	return fmt.Sprintf("TierKind(%d)", int(t))
+}
+
+// Tier is one Orion storage tier (Table 2 rows).
+type Tier struct {
+	Kind     TierKind
+	Capacity units.Bytes
+	// Read and Write are theoretical streaming bandwidths.
+	Read, Write units.BytesPerSecond
+	// ReadEff and WriteEff convert theoretical to measured.
+	ReadEff, WriteEff float64
+}
+
+// MeasuredRead is the achieved streaming read rate.
+func (t Tier) MeasuredRead() units.BytesPerSecond {
+	return units.BytesPerSecond(float64(t.Read) * t.ReadEff)
+}
+
+// MeasuredWrite is the achieved streaming write rate.
+func (t Tier) MeasuredWrite() units.BytesPerSecond {
+	return units.BytesPerSecond(float64(t.Write) * t.WriteEff)
+}
+
+// SSU is one Scalable Storage Unit: two controllers with two Cassini
+// NICs each, 24 NVMe drives and 212 hard drives in distinct dRAID sets.
+type SSU struct {
+	Controllers int
+	NICsPerCtrl int
+	NICRate     units.BytesPerSecond
+	Flash       DRAIDGroup
+	Disk        DRAIDGroup
+}
+
+// FrontierSSU returns the Orion SSU as deployed.
+func FrontierSSU() SSU {
+	return SSU{
+		Controllers: 2,
+		NICsPerCtrl: 2,
+		NICRate:     25 * units.GBps,
+		Flash: DRAIDGroup{
+			Data: 4, Parity: 2, Spares: 0, Drives: 24,
+			DriveCapacity: 3.2 * units.TB,
+			DriveBW:       1.95 * units.GBps,
+		},
+		Disk: DRAIDGroup{
+			Data: 8, Parity: 2, Spares: 2, Drives: 212,
+			DriveCapacity: 18 * units.TB,
+			DriveBW:       117 * units.MBps,
+		},
+	}
+}
+
+// NetworkLimit is the SSU's NIC ceiling (100 GB/s).
+func (s SSU) NetworkLimit() units.BytesPerSecond {
+	return units.BytesPerSecond(s.Controllers*s.NICsPerCtrl) * s.NICRate
+}
+
+// Orion is the center-wide Lustre parallel file system: 225 SSUs plus
+// flash metadata servers, aggregated into one POSIX namespace with a
+// Progressive File Layout.
+type Orion struct {
+	SSUs  int
+	SSU   SSU
+	Tiers map[TierKind]Tier
+	// DoMLimit is the Data-on-Metadata threshold: the first 256 KB of
+	// every file lands on the flash metadata servers.
+	DoMLimit units.Bytes
+	// PFLPerformanceLimit: bytes past DoMLimit up to this offset land
+	// in the performance (flash) tier; the rest in the capacity tier.
+	PFLPerformanceLimit units.Bytes
+}
+
+// NewOrion builds Orion with Table 2's capacities and bandwidths.
+func NewOrion() *Orion {
+	ssu := FrontierSSU()
+	n := 225
+	o := &Orion{
+		SSUs:                n,
+		SSU:                 ssu,
+		DoMLimit:            256 * units.KB,
+		PFLPerformanceLimit: 8 * units.MB,
+		Tiers:               map[TierKind]Tier{},
+	}
+	o.Tiers[MetadataTier] = Tier{
+		Kind:     MetadataTier,
+		Capacity: 10 * units.PB,
+		Read:     0.8 * units.TBps,
+		Write:    0.4 * units.TBps,
+		ReadEff:  0.9, WriteEff: 0.9,
+	}
+	o.Tiers[PerformanceTier] = Tier{
+		Kind:     PerformanceTier,
+		Capacity: ssu.Flash.UsableCapacity() * units.Bytes(n),
+		Read:     10 * units.TBps,
+		Write:    10 * units.TBps,
+		// §4.3.2: up to 11.7 TB/s reads and 9.4 TB/s writes on files
+		// within the flash tier.
+		ReadEff: 1.17, WriteEff: 0.94,
+	}
+	o.Tiers[CapacityTier] = Tier{
+		Kind:     CapacityTier,
+		Capacity: ssu.Disk.UsableCapacity() * units.Bytes(n),
+		Read:     ssu.Disk.StreamBandwidth(false) * units.BytesPerSecond(n),
+		Write:    ssu.Disk.StreamBandwidth(true) * units.BytesPerSecond(n),
+		// §4.3.2: large files see 4.9 TB/s reads, 4.3 TB/s writes.
+		ReadEff: 0.90, WriteEff: 0.97,
+	}
+	return o
+}
+
+// SplitFile applies the PFL layout to a file of the given size and
+// returns how many bytes land in each tier.
+func (o *Orion) SplitFile(size units.Bytes) (dom, perf, capTier units.Bytes) {
+	if size <= 0 {
+		return 0, 0, 0
+	}
+	dom = size
+	if dom > o.DoMLimit {
+		dom = o.DoMLimit
+	}
+	rest := size - dom
+	if rest <= 0 {
+		return dom, 0, 0
+	}
+	perf = rest
+	if size > o.PFLPerformanceLimit {
+		perf = o.PFLPerformanceLimit - o.DoMLimit
+		capTier = size - o.PFLPerformanceLimit
+	}
+	return dom, perf, capTier
+}
+
+// TierFor reports the tier a byte offset of a file lands in.
+func (o *Orion) TierFor(offset units.Bytes) TierKind {
+	switch {
+	case offset < o.DoMLimit:
+		return MetadataTier
+	case offset < o.PFLPerformanceLimit:
+		return PerformanceTier
+	default:
+		return CapacityTier
+	}
+}
+
+// StreamBandwidth reports the achieved aggregate rate for a parallel
+// workload of files of the given size: files within the flash tier run
+// at flash speed; large files are dominated by the capacity tier.
+func (o *Orion) StreamBandwidth(fileSize units.Bytes, write bool) units.BytesPerSecond {
+	dom, perf, capT := o.SplitFile(fileSize)
+	total := float64(dom + perf + capT)
+	if total == 0 {
+		return 0
+	}
+	rate := func(t Tier) float64 {
+		if write {
+			return float64(t.MeasuredWrite())
+		}
+		return float64(t.MeasuredRead())
+	}
+	// The tiers serve their byte classes concurrently (separate device
+	// sets); the stream completes when the slowest class finishes.
+	tTime := math.Max(float64(dom)/rate(o.Tiers[MetadataTier]),
+		math.Max(float64(perf)/rate(o.Tiers[PerformanceTier]),
+			float64(capT)/rate(o.Tiers[CapacityTier])))
+	return units.BytesPerSecond(total / tTime)
+}
+
+// IngestTime reports how long Orion needs to absorb a burst of the given
+// size written as large files (a full-machine checkpoint). The paper:
+// ~700 TiB (15% of HBM) in ~180 s.
+func (o *Orion) IngestTime(bytes units.Bytes) units.Seconds {
+	return units.TimeToMove(bytes, o.StreamBandwidth(1*units.TB, true))
+}
+
+// String summarises the file system.
+func (o *Orion) String() string {
+	return fmt.Sprintf("orion: %d SSUs, %s flash + %s disk, PFL %v/%v",
+		o.SSUs, o.Tiers[PerformanceTier].Capacity, o.Tiers[CapacityTier].Capacity,
+		o.DoMLimit, o.PFLPerformanceLimit)
+}
