@@ -11,6 +11,7 @@ package frontiersim
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -207,3 +208,33 @@ func BenchmarkGemmModel(b *testing.B) {
 func BenchmarkExtInventory(b *testing.B) { benchExperiment(b, "ext-inventory") }
 
 func BenchmarkExtMiniapps(b *testing.B) { benchExperiment(b, "ext-miniapps") }
+
+// benchRunAll times the whole registry through the harness at the given
+// worker count. Quick mode keeps one iteration in CI range; the serial
+// and parallel variants share seeds, so their tables are identical and
+// the only difference is wall time.
+func benchRunAll(b *testing.B, jobs int) {
+	b.Helper()
+	runners := experiments.Registry()
+	opts := experiments.DefaultOptions()
+	opts.Quick = true
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.RunAll(context.Background(), runners, opts,
+			experiments.RunConfig{Jobs: jobs}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(runners) {
+			b.Fatalf("got %d results, want %d", len(results), len(runners))
+		}
+	}
+}
+
+// BenchmarkRunAllSerial is the jobs=1 baseline for the parallel harness.
+func BenchmarkRunAllSerial(b *testing.B) { benchRunAll(b, 1) }
+
+// BenchmarkRunAllParallel runs the registry at GOMAXPROCS workers. On a
+// 4+ core runner the wall time approaches the longest single experiment
+// (expensive experiments dispatch first); the CI bench job records both
+// trajectories per commit.
+func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, 0) }

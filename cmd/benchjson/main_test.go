@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkRunAllParallel-8   \t       1\t8648000000 ns/op\t        12.5 max-deviation-%")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if b.Name != "BenchmarkRunAllParallel" || b.Procs != 8 {
+		t.Errorf("name/procs = %q/%d", b.Name, b.Procs)
+	}
+	if b.Iterations != 1 || b.NsPerOp != 8648000000 {
+		t.Errorf("iters/ns = %d/%g", b.Iterations, b.NsPerOp)
+	}
+	if b.Metrics["max-deviation-%"] != 12.5 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{"", "Benchmark", "BenchmarkX notanint ns/op"} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("%q should not parse", line)
+		}
+	}
+}
+
+func TestParseLineNoProcsSuffix(t *testing.T) {
+	b, ok := parseLine("BenchmarkFoo 10 100 ns/op")
+	if !ok || b.Name != "BenchmarkFoo" || b.Procs != 0 {
+		t.Errorf("got %+v ok=%v", b, ok)
+	}
+}

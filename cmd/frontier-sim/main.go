@@ -3,6 +3,10 @@
 // Exascale" (SC '23) has an experiment id, and each run prints a
 // paper-vs-measured table.
 //
+// Experiments execute on a parallel worker pool (-jobs). Each experiment
+// draws its randomness from a seed derived from (-seed, experiment id),
+// so table output is byte-identical at any -jobs setting.
+//
 // Usage:
 //
 //	frontier-sim list                 # show all experiment ids
@@ -10,21 +14,30 @@
 //	frontier-sim run all              # run everything, in paper order
 //	frontier-sim -markdown run all    # emit markdown (EXPERIMENTS.md body)
 //	frontier-sim -quick run all       # reduced sampling for smoke tests
+//	frontier-sim -jobs=1 run all      # serial (same output as -jobs=8)
+//	frontier-sim verify               # check reproduction envelopes
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"time"
 
 	"frontiersim/internal/experiments"
+	"frontiersim/internal/harness"
 )
 
 func main() {
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	quick := flag.Bool("quick", false, "reduced sampling (smoke test)")
-	seed := flag.Int64("seed", 42, "random seed")
+	seed := flag.Int64("seed", 42, "root random seed (per-experiment seeds are derived from it)")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max experiments run concurrently (1 = serial)")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = none)")
+	keepGoing := flag.Bool("keepgoing", false, "run every experiment even after a failure")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -33,13 +46,29 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	cfg := experiments.RunConfig{Jobs: *jobs, Timeout: *timeout, FailFast: !*keepGoing}
+
 	switch args[0] {
 	case "verify":
-		opts := experiments.Options{Quick: *quick, Seed: *seed}
-		results := experiments.Verify(opts)
+		// Verify always collects every check so the report is complete.
+		cfg.FailFast = false
+		start := time.Now()
+		results := experiments.VerifyContext(ctx, opts, cfg)
+		var slowest experiments.VerifyResult
 		for _, r := range results {
 			fmt.Println(r)
+			if r.Duration > slowest.Duration {
+				slowest = r
+			}
 		}
+		fmt.Fprintf(os.Stderr, "[verified %d experiments in %v wall, slowest %s at %v]\n",
+			len(results), time.Since(start).Round(time.Millisecond),
+			slowest.ID, slowest.Duration.Round(time.Millisecond))
 		if !experiments.AllPass(results) {
 			fmt.Fprintln(os.Stderr, "frontier-sim: reproduction check FAILED")
 			os.Exit(1)
@@ -54,7 +83,6 @@ func main() {
 			fmt.Fprintln(os.Stderr, "frontier-sim: run needs experiment ids or 'all'")
 			os.Exit(2)
 		}
-		opts := experiments.Options{Quick: *quick, Seed: *seed}
 		var runners []experiments.Runner
 		if args[1] == "all" {
 			runners = experiments.Registry()
@@ -68,25 +96,46 @@ func main() {
 				runners = append(runners, r)
 			}
 		}
-		for _, r := range runners {
-			start := time.Now()
-			table, err := r.Run(opts)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "frontier-sim: %s: %v\n", r.ID, err)
-				os.Exit(1)
+		start := time.Now()
+		results, err := experiments.RunAll(ctx, runners, opts, cfg, func(r experiments.RunResult) {
+			switch {
+			case r.Skipped:
+				fmt.Fprintf(os.Stderr, "[%s skipped: %v]\n", r.ID, r.Err)
+			case r.Err != nil:
+				fmt.Fprintf(os.Stderr, "frontier-sim: %s: %v\n", r.ID, r.Err)
+			case *markdown:
+				r.Table.Markdown(os.Stdout)
+				fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", r.ID, r.Duration.Round(time.Millisecond))
+			default:
+				r.Table.Render(os.Stdout)
+				fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", r.ID, r.Duration.Round(time.Millisecond))
 			}
-			if *markdown {
-				table.Markdown(os.Stdout)
-			} else {
-				table.Render(os.Stdout)
-			}
-			fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", r.ID, time.Since(start).Round(time.Millisecond))
+		})
+		if len(runners) > 1 {
+			sum := summarize(results)
+			fmt.Fprintf(os.Stderr, "[%d experiments in %v wall (%v serial work, longest %s at %v, jobs=%d)]\n",
+				sum.Tasks, time.Since(start).Round(time.Millisecond), sum.Wall.Round(time.Millisecond),
+				sum.LongestID, sum.Longest.Round(time.Millisecond), *jobs)
+		}
+		if err != nil {
+			os.Exit(1)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "frontier-sim: unknown command %q\n", args[0])
 		usage()
 		os.Exit(2)
 	}
+}
+
+// summarize converts experiment results to the harness metric fold.
+func summarize(results []experiments.RunResult) harness.Summary {
+	hres := make([]harness.Result[struct{}], len(results))
+	for i, r := range results {
+		hres[i] = harness.Result[struct{}]{
+			ID: r.ID, Index: i, Err: r.Err, Duration: r.Duration, Skipped: r.Skipped,
+		}
+	}
+	return harness.Summarize(hres)
 }
 
 func usage() {

@@ -8,16 +8,19 @@ package experiments
 import (
 	"fmt"
 	"sort"
-)
 
-import "frontiersim/internal/report"
+	"frontiersim/internal/report"
+)
 
 // Options tunes experiment execution.
 type Options struct {
 	// Quick trades sampling depth for speed (used by tests); the full
 	// runs are what EXPERIMENTS.md records.
 	Quick bool
-	// Seed drives all randomness.
+	// Seed drives all randomness. RunAll derives a private per-
+	// experiment seed from it (see internal/harness.DeriveSeed), so a
+	// runner must draw every random number from Options.Seed and never
+	// from shared state.
 	Seed int64
 }
 
@@ -29,38 +32,43 @@ type Runner struct {
 	ID          string
 	Description string
 	Run         func(Options) (*report.Table, error)
+	// Cost is a relative wall-time hint (measured quick-mode seconds,
+	// rounded): the parallel harness starts expensive experiments first
+	// so the batch makespan approaches the longest single experiment.
+	// It never affects results.
+	Cost float64
 }
 
 // Registry returns all experiments in paper order.
 func Registry() []Runner {
 	return []Runner{
-		{"table1", "Frontier compute peak specifications", Table1},
-		{"table2", "I/O subsystem capacities and bandwidths", Table2},
-		{"table3", "CPU STREAM, temporal vs non-temporal stores", Table3},
-		{"fig3", "CoralGemm achieved vs peak per precision", Fig3},
-		{"table4", "GPU STREAM bandwidth", Table4},
-		{"fig4", "Aggregate CPU-to-GCD bandwidth, 8 ranks", Fig4},
-		{"fig5", "GCD-to-GCD bandwidth: CU kernels vs SDMA", Fig5},
-		{"fig6", "mpiGraph per-NIC bandwidth census (Frontier vs Summit)", Fig6},
-		{"table5", "GPCNeT congestion benchmark at 8 PPN", Table5},
-		{"sec431", "Node-local storage (fio)", Sec431},
-		{"sec432", "Orion Lustre streaming and ingest", Sec432},
-		{"table6", "CAAR and INCITE application speedups vs Summit", Table6},
-		{"table7", "ECP application speedups", Table7},
-		{"sec51", "Energy and power (HPL, Green500)", Sec51},
-		{"sec54", "Resiliency (MTTI, contributors, checkpointing)", Sec54},
-		{"ablation-taper", "Ablation: dragonfly global-bundle taper sweep", AblationTaper},
-		{"ablation-nps", "Ablation: NPS-1 vs NPS-4 memory interleaving", AblationNPS},
-		{"ablation-routing", "Ablation: minimal-only vs adaptive routing", AblationRouting},
-		{"ablation-cc", "Ablation: congestion control off (GPCNeT)", AblationCC},
-		{"ablation-placement", "Ablation: scheduler pack vs spread placement", AblationPlacement},
-		{"ablation-checkpoint", "Extension: checkpoint interval vs MTTI (Daly)", AblationCheckpoint},
-		{"ablation-ppn", "Ablation: GPCNeT at 32 PPN (CC protection erodes)", AblationPPN},
-		{"ext-burstbuffer", "Extension: node-local burst buffer use cases", ExtBurstBuffer},
-		{"ext-sysmgmt", "Extension: HPCM boot, CTDB failover, discovery", ExtSysmgmt},
-		{"ext-operations", "Extension: a simulated week of operations", ExtOperations},
-		{"ext-inventory", "Extension: dragonfly vs Clos ports and cables", ExtInventory},
-		{"ext-miniapps", "Extension: real kernels validated + roofline-predicted", ExtMiniapps},
+		{"table1", "Frontier compute peak specifications", Table1, 0.2},
+		{"table2", "I/O subsystem capacities and bandwidths", Table2, 0},
+		{"table3", "CPU STREAM, temporal vs non-temporal stores", Table3, 0.3},
+		{"fig3", "CoralGemm achieved vs peak per precision", Fig3, 0},
+		{"table4", "GPU STREAM bandwidth", Table4, 0},
+		{"fig4", "Aggregate CPU-to-GCD bandwidth, 8 ranks", Fig4, 0},
+		{"fig5", "GCD-to-GCD bandwidth: CU kernels vs SDMA", Fig5, 0},
+		{"fig6", "mpiGraph per-NIC bandwidth census (Frontier vs Summit)", Fig6, 3.6},
+		{"table5", "GPCNeT congestion benchmark at 8 PPN", Table5, 1.7},
+		{"sec431", "Node-local storage (fio)", Sec431, 0},
+		{"sec432", "Orion Lustre streaming and ingest", Sec432, 0},
+		{"table6", "CAAR and INCITE application speedups vs Summit", Table6, 0.1},
+		{"table7", "ECP application speedups", Table7, 0},
+		{"sec51", "Energy and power (HPL, Green500)", Sec51, 0},
+		{"sec54", "Resiliency (MTTI, contributors, checkpointing)", Sec54, 0},
+		{"ablation-taper", "Ablation: dragonfly global-bundle taper sweep", AblationTaper, 0.2},
+		{"ablation-nps", "Ablation: NPS-1 vs NPS-4 memory interleaving", AblationNPS, 0},
+		{"ablation-routing", "Ablation: minimal-only vs adaptive routing", AblationRouting, 1.5},
+		{"ablation-cc", "Ablation: congestion control off (GPCNeT)", AblationCC, 3.4},
+		{"ablation-placement", "Ablation: scheduler pack vs spread placement", AblationPlacement, 0.1},
+		{"ablation-checkpoint", "Extension: checkpoint interval vs MTTI (Daly)", AblationCheckpoint, 0},
+		{"ablation-ppn", "Ablation: GPCNeT at 32 PPN (CC protection erodes)", AblationPPN, 7.1},
+		{"ext-burstbuffer", "Extension: node-local burst buffer use cases", ExtBurstBuffer, 0},
+		{"ext-sysmgmt", "Extension: HPCM boot, CTDB failover, discovery", ExtSysmgmt, 0},
+		{"ext-operations", "Extension: a simulated week of operations", ExtOperations, 0.4},
+		{"ext-inventory", "Extension: dragonfly vs Clos ports and cables", ExtInventory, 0.1},
+		{"ext-miniapps", "Extension: real kernels validated + roofline-predicted", ExtMiniapps, 0.1},
 	}
 }
 

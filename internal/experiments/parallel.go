@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"frontiersim/internal/harness"
+	"frontiersim/internal/report"
+)
+
+// RunConfig tunes parallel execution of a set of experiments.
+type RunConfig struct {
+	// Jobs bounds concurrent experiments; <=0 means GOMAXPROCS.
+	Jobs int
+	// FailFast stops dispatching after the first failure; otherwise
+	// every experiment runs and errors are collected.
+	FailFast bool
+	// Timeout bounds the whole batch; 0 means none.
+	Timeout time.Duration
+}
+
+// RunResult is one experiment's outcome plus its execution metrics.
+type RunResult struct {
+	ID       string
+	Table    *report.Table
+	Err      error
+	Seed     int64 // the derived per-experiment seed actually used
+	Duration time.Duration
+	Skipped  bool
+}
+
+// RunAll executes runners on the harness worker pool. Each runner
+// receives a copy of o whose Seed is derived from (o.Seed, runner.ID),
+// so the tables — and anything rendered from them — are byte-identical
+// at any Jobs setting, and independent of which other experiments run
+// in the same batch. Results are returned, and emit (if non-nil) is
+// called, in runner order.
+func RunAll(ctx context.Context, runners []Runner, o Options, cfg RunConfig, emit func(RunResult)) ([]RunResult, error) {
+	tasks := make([]harness.Task[*report.Table], len(runners))
+	for i, r := range runners {
+		r := r
+		tasks[i] = harness.Task[*report.Table]{
+			ID:   r.ID,
+			Cost: r.Cost,
+			Run: func(_ context.Context, seed int64) (*report.Table, error) {
+				opts := o
+				opts.Seed = seed
+				return r.Run(opts)
+			},
+		}
+	}
+	hcfg := harness.Config{
+		Jobs:     cfg.Jobs,
+		FailFast: cfg.FailFast,
+		Timeout:  cfg.Timeout,
+		RootSeed: o.Seed,
+	}
+	var wrap func(harness.Result[*report.Table])
+	if emit != nil {
+		wrap = func(hr harness.Result[*report.Table]) { emit(fromHarness(hr)) }
+	}
+	hres, err := harness.Run(ctx, hcfg, tasks, wrap)
+	results := make([]RunResult, len(hres))
+	for i, hr := range hres {
+		results[i] = fromHarness(hr)
+	}
+	return results, err
+}
+
+func fromHarness(hr harness.Result[*report.Table]) RunResult {
+	return RunResult{
+		ID:       hr.ID,
+		Table:    hr.Value,
+		Err:      hr.Err,
+		Seed:     hr.Seed,
+		Duration: hr.Duration,
+		Skipped:  hr.Skipped,
+	}
+}

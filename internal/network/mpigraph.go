@@ -104,8 +104,16 @@ func RunMpiGraph(f *fabric.Fabric, cfg MpiGraphConfig, rng *rand.Rand) (MpiGraph
 	for len(chosen) < shifts {
 		chosen[1+rng.Intn(nodes-1)] = true
 	}
-	var result MpiGraphResult
+	// Iterate shifts in sorted order: map iteration order would otherwise
+	// reshuffle the rng draws below between runs, making the census
+	// nondeterministic even at a fixed seed.
+	order := make([]int, 0, len(chosen))
 	for s := range chosen {
+		order = append(order, s)
+	}
+	sort.Ints(order)
+	var result MpiGraphResult
+	for _, s := range order {
 		demands := make([]*Demand, 0, nodes*ranks)
 		for i := 0; i < nodes; i++ {
 			j := (i + s) % nodes
