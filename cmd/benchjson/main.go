@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	go test -bench=. -benchtime=1x -run='^$' . | benchjson -sha=$GITHUB_SHA > BENCH_$GITHUB_SHA.json
+//	go test -bench=. -benchtime=1x -benchmem -run='^$' . | benchjson -sha=$GITHUB_SHA > BENCH_$GITHUB_SHA.json
 package main
 
 import (
@@ -20,11 +20,16 @@ import (
 
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {
-	Name       string             `json:"name"`
-	Procs      int                `json:"procs,omitempty"`
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name       string  `json:"name"`
+	Procs      int     `json:"procs,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp carry -benchmem's B/op and allocs/op
+	// columns, so allocation regressions (and arena wins) are visible in
+	// the archived perf trajectory alongside wall time.
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the archived document.
@@ -103,6 +108,14 @@ func parseLine(line string) (Benchmark, bool) {
 		unit := fields[i+1]
 		if unit == "ns/op" {
 			b.NsPerOp = v
+			continue
+		}
+		if unit == "B/op" {
+			b.BytesPerOp = v
+			continue
+		}
+		if unit == "allocs/op" {
+			b.AllocsPerOp = v
 			continue
 		}
 		if b.Metrics == nil {

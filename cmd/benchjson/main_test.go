@@ -32,3 +32,38 @@ func TestParseLineNoProcsSuffix(t *testing.T) {
 		t.Errorf("got %+v ok=%v", b, ok)
 	}
 }
+
+func TestParseLineBenchmem(t *testing.T) {
+	b, ok := parseLine("BenchmarkMaxMinSolve-8   \t     20\t 943732 ns/op\t   94681 B/op\t     882 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if b.NsPerOp != 943732 {
+		t.Errorf("ns/op = %g", b.NsPerOp)
+	}
+	if b.BytesPerOp != 94681 {
+		t.Errorf("bytes_per_op = %g, want 94681", b.BytesPerOp)
+	}
+	if b.AllocsPerOp != 882 {
+		t.Errorf("allocs_per_op = %g, want 882", b.AllocsPerOp)
+	}
+	if _, ok := b.Metrics["B/op"]; ok {
+		t.Error("B/op should be a first-class field, not a generic metric")
+	}
+	if _, ok := b.Metrics["allocs/op"]; ok {
+		t.Error("allocs/op should be a first-class field, not a generic metric")
+	}
+}
+
+func TestParseLineBenchmemWithExtraMetric(t *testing.T) {
+	b, ok := parseLine("BenchmarkFig6MpiGraph-8 1 100 ns/op 12.5 max-deviation-% 64 B/op 2 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if b.BytesPerOp != 64 || b.AllocsPerOp != 2 {
+		t.Errorf("benchmem fields = %g/%g, want 64/2", b.BytesPerOp, b.AllocsPerOp)
+	}
+	if b.Metrics["max-deviation-%"] != 12.5 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+}

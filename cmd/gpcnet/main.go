@@ -4,10 +4,16 @@
 //
 // Usage:
 //
-//	gpcnet [-nodes N] [-ppn P] [-cc=false]
+//	gpcnet [-nodes N] [-ppn P] [-cc=false] [-trials T] [-jobs J]
+//
+// With -trials > 1 the repetitions run concurrently on a bounded worker
+// pool, one derived rng stream per trial; the first trial's table is
+// printed plus per-trial impact factors. Results are byte-identical at
+// any -jobs setting for a fixed seed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -22,6 +28,8 @@ func main() {
 	ppn := flag.Int("ppn", 8, "processes per node")
 	cc := flag.Bool("cc", true, "hardware congestion control enabled")
 	seed := flag.Int64("seed", 1, "random seed")
+	trials := flag.Int("trials", 1, "independent benchmark repetitions")
+	jobs := flag.Int("jobs", 0, "concurrent trial workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	f, err := fabric.NewDragonfly(fabric.FrontierConfig())
@@ -33,7 +41,17 @@ func main() {
 	cfg.Nodes = *nodes
 	cfg.PPN = *ppn
 	cfg.CongestionControl = *cc
-	res, err := network.RunGPCNeT(f, cfg, rand.New(rand.NewSource(*seed)))
+	var res network.GPCNeTResult
+	var all []network.GPCNeTResult
+	if *trials > 1 {
+		all, err = network.RunGPCNeTTrials(context.Background(), f, cfg, *trials,
+			network.ParallelConfig{Jobs: *jobs, Seed: *seed})
+		if err == nil {
+			res = all[0]
+		}
+	} else {
+		res, err = network.RunGPCNeT(f, cfg, rand.New(rand.NewSource(*seed)))
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpcnet:", err)
 		os.Exit(1)
@@ -52,4 +70,17 @@ func main() {
 	row("Multiple allreduce 99%", us(float64(i.Allreduce.P99)), us(float64(c.Allreduce.P99)))
 	fmt.Printf("\nimpact factors: bandwidth %.2fx, latency %.2fx, allreduce %.2fx\n",
 		res.BandwidthImpact, res.LatencyImpact, res.AllreduceImpact)
+	if len(all) > 1 {
+		var bw, lat, ar float64
+		fmt.Printf("\nper-trial impact factors (%d trials):\n", len(all))
+		for i, r := range all {
+			fmt.Printf("  trial %d: bandwidth %.2fx, latency %.2fx, allreduce %.2fx\n",
+				i, r.BandwidthImpact, r.LatencyImpact, r.AllreduceImpact)
+			bw += r.BandwidthImpact
+			lat += r.LatencyImpact
+			ar += r.AllreduceImpact
+		}
+		n := float64(len(all))
+		fmt.Printf("  mean:    bandwidth %.2fx, latency %.2fx, allreduce %.2fx\n", bw/n, lat/n, ar/n)
+	}
 }

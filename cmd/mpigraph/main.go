@@ -4,13 +4,17 @@
 //
 // Usage:
 //
-//	mpigraph -fabric frontier|summit [-nodes N] [-shifts S] [-bins B]
+//	mpigraph -fabric frontier|summit [-nodes N] [-shifts S] [-bins B] [-jobs J]
+//
+// Shifts are evaluated concurrently on a bounded worker pool with
+// epoch-cached adaptive routes; the census is byte-identical at any
+// -jobs setting for a fixed seed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"strings"
 
@@ -24,6 +28,7 @@ func main() {
 	shifts := flag.Int("shifts", 8, "shift permutations to sample")
 	bins := flag.Int("bins", 20, "histogram bins")
 	seed := flag.Int64("seed", 1, "random seed")
+	jobs := flag.Int("jobs", 0, "concurrent shift workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var f *fabric.Fabric
@@ -45,7 +50,8 @@ func main() {
 	}
 	cfg.Nodes = *nodes
 	cfg.Shifts = *shifts
-	res, err := network.RunMpiGraph(f, cfg, rand.New(rand.NewSource(*seed)))
+	res, err := network.RunMpiGraphParallel(context.Background(), f, cfg,
+		network.ParallelConfig{Jobs: *jobs, Seed: *seed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpigraph:", err)
 		os.Exit(1)

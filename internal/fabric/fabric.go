@@ -99,7 +99,18 @@ type Fabric struct {
 
 	// uplink and downlink join each leaf to the core in FatTree fabrics.
 	uplink, downlink []int
+
+	// stateEpoch counts link/switch state transitions (FailLink,
+	// RestoreLink, FailSwitch). Caches keyed on routing inputs — notably
+	// PathCache — compare it to detect that their entries went stale.
+	stateEpoch uint64
 }
+
+// StateEpoch returns the link-state epoch: a counter that advances on
+// every link or switch state transition. Two calls returning the same
+// value bracket a window in which every path the fabric computed is
+// still valid.
+func (f *Fabric) StateEpoch() uint64 { return f.stateEpoch }
 
 // key packs two non-negative ints into a map key.
 func key(a, b int) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
@@ -231,14 +242,21 @@ func (f *Fabric) GroupSwitches(g int) []int { return f.groupSwitches[g] }
 func (f *Fabric) GlobalLinks(a, b int) []int { return f.globalPair[key(a, b)] }
 
 // FailLink marks a link down.
-func (f *Fabric) FailLink(id int) { f.Links[id].Up = false }
+func (f *Fabric) FailLink(id int) {
+	f.Links[id].Up = false
+	f.stateEpoch++
+}
 
 // RestoreLink marks a link up again.
-func (f *Fabric) RestoreLink(id int) { f.Links[id].Up = true }
+func (f *Fabric) RestoreLink(id int) {
+	f.Links[id].Up = true
+	f.stateEpoch++
+}
 
 // FailSwitch marks a switch unhealthy and all links touching it down.
 func (f *Fabric) FailSwitch(sw int) {
 	f.SwitchHealthy[sw] = false
+	f.stateEpoch++
 	for i := range f.Links {
 		l := &f.Links[i]
 		touches := (l.Kind != Injection && l.From == sw) || (l.Kind != Ejection && l.To == sw) ||

@@ -1,0 +1,111 @@
+package fabric
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// PathCache memoises adaptive-routing path sets keyed by (src, dst,
+// link-state epoch). mpiGraph revisits the same endpoint pairs across
+// thousands of shift permutations; without the cache every visit walks
+// the fabric again to rebuild an identical route set.
+//
+// Entries are invalidated wholesale when the fabric's StateEpoch moves —
+// i.e. whenever the fabric manager (or a test) marks links or switches
+// up/down — so a cached path can never cross hardware that has since
+// failed.
+//
+// Determinism: a miss computes the path set with a private rng seeded
+// purely by (cache seed, src, dst, epoch), never by a caller-supplied
+// stream. The cached content is therefore a pure function of the key, so
+// concurrent workers racing to fill the same entry write identical
+// bytes, and a parallel run returns exactly the paths a serial run
+// would. A PathCache is safe for concurrent use.
+type PathCache struct {
+	f        *Fabric
+	nValiant int
+	seed     int64
+
+	mu    sync.RWMutex
+	epoch uint64
+	sets  map[uint64]PathSet
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewPathCache returns a cache over f computing path sets with nValiant
+// Valiant detours. seed fixes the (deterministic) path randomisation.
+func NewPathCache(f *Fabric, nValiant int, seed int64) *PathCache {
+	return &PathCache{
+		f:        f,
+		nValiant: nValiant,
+		seed:     seed,
+		epoch:    f.StateEpoch(),
+		sets:     make(map[uint64]PathSet),
+	}
+}
+
+// mix64 is the SplitMix64 finalizer, used to fold the cache key into an
+// independent rng seed per (src, dst, epoch).
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// pairSeed derives the rng seed for one cache entry.
+func (c *PathCache) pairSeed(src, dst int, epoch uint64) int64 {
+	h := mix64(uint64(c.seed))
+	h = mix64(h ^ key(src, dst))
+	h = mix64(h ^ epoch)
+	return int64(h)
+}
+
+// Paths returns the adaptive-routing path set for one endpoint pair,
+// computing and caching it on first use within the current link-state
+// epoch.
+func (c *PathCache) Paths(src, dst int) (PathSet, error) {
+	k := key(src, dst)
+	epoch := c.f.StateEpoch()
+	c.mu.RLock()
+	if c.epoch == epoch {
+		if ps, ok := c.sets[k]; ok {
+			c.mu.RUnlock()
+			c.hits.Add(1)
+			return ps, nil
+		}
+	}
+	c.mu.RUnlock()
+
+	rng := rand.New(rand.NewSource(c.pairSeed(src, dst, epoch)))
+	ps, err := c.f.AdaptivePaths(src, dst, c.nValiant, rng)
+	if err != nil {
+		return ps, err
+	}
+	c.mu.Lock()
+	if c.epoch != epoch {
+		// Link state moved (or this is the first fill after a move):
+		// drop every stale entry before admitting the fresh one.
+		c.sets = make(map[uint64]PathSet)
+		c.epoch = epoch
+	}
+	c.sets[k] = ps
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return ps, nil
+}
+
+// Stats reports cache hits and misses since construction.
+func (c *PathCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len reports the number of cached path sets in the current epoch.
+func (c *PathCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.sets)
+}

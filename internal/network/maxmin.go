@@ -13,10 +13,6 @@
 package network
 
 import (
-	"container/heap"
-	"fmt"
-	"math"
-
 	"frontiersim/internal/fabric"
 )
 
@@ -33,7 +29,8 @@ type Demand struct {
 	Cap float64
 	// Rate is the solved total rate across subflows.
 	Rate float64
-	// SubRates are the solved per-path rates.
+	// SubRates are the solved per-path rates. Solve reuses the slice
+	// across calls when its capacity suffices.
 	SubRates []float64
 }
 
@@ -41,146 +38,43 @@ type Demand struct {
 // Each path of each demand is an independent subflow (Slingshot sprays
 // packets over paths); a demand's rate is the sum over its subflows.
 // Demand caps are honoured by modelling them as single-user pseudo-links.
+//
+// Solve is a thin wrapper over a pooled Solver arena: it is safe for
+// concurrent use and allocation-free in steady state. Callers running
+// many solves on one goroutine can hold their own Solver instead.
 func Solve(f *fabric.Fabric, demands []*Demand) error {
-	type link struct {
-		cap   float64
-		used  float64
-		count int
-		subs  []int32
-	}
-	var links []link
-	linkIdx := make(map[int]int32) // fabric link id -> local index
-
-	type subflow struct {
-		demand int32
-		path   int32
-		links  []int32
-	}
-	var subs []subflow
-
-	for di, d := range demands {
-		if len(d.Paths) == 0 {
-			return fmt.Errorf("network: demand %d (%d->%d) has no paths", di, d.Src, d.Dst)
-		}
-		d.SubRates = make([]float64, len(d.Paths))
-		d.Rate = 0
-		for pi, p := range d.Paths {
-			si := int32(len(subs))
-			sf := subflow{demand: int32(di), path: int32(pi)}
-			for _, lid := range p {
-				li, ok := linkIdx[lid]
-				if !ok {
-					li = int32(len(links))
-					linkIdx[lid] = li
-					fl := f.Links[lid]
-					if !fl.Up {
-						return fmt.Errorf("network: demand %d routed over down link %d", di, lid)
-					}
-					links = append(links, link{cap: fl.Cap})
-				}
-				links[li].count++
-				links[li].subs = append(links[li].subs, si)
-				sf.links = append(sf.links, li)
-			}
-			if d.Cap > 0 {
-				// Pseudo-link private to this subflow, enforcing the
-				// demand cap split evenly across its paths.
-				li := int32(len(links))
-				links = append(links, link{cap: d.Cap / float64(len(d.Paths)), count: 1, subs: []int32{si}})
-				sf.links = append(sf.links, li)
-			}
-			subs = append(subs, sf)
-		}
-	}
-
-	// Lazy heap of (bound, link): bounds only grow as flows freeze, so a
-	// stale entry is re-pushed with its recomputed bound.
-	h := &boundHeap{}
-	bound := func(li int32) float64 {
-		l := &links[li]
-		if l.count == 0 {
-			return math.Inf(1)
-		}
-		b := (l.cap - l.used) / float64(l.count)
-		if b < 0 {
-			b = 0
-		}
-		return b
-	}
-	for li := range links {
-		heap.Push(h, boundEntry{bound(int32(li)), int32(li)})
-	}
-
-	frozen := make([]bool, len(subs))
-	remaining := len(subs)
-	for remaining > 0 && h.Len() > 0 {
-		e := heap.Pop(h).(boundEntry)
-		cur := bound(e.link)
-		if links[e.link].count == 0 {
-			continue
-		}
-		if cur > e.bound+1e-15 {
-			heap.Push(h, boundEntry{cur, e.link})
-			continue
-		}
-		level := cur
-		// Freeze every unfrozen subflow crossing the bottleneck.
-		for _, si := range links[e.link].subs {
-			if frozen[si] {
-				continue
-			}
-			frozen[si] = true
-			remaining--
-			d := demands[subs[si].demand]
-			d.SubRates[subs[si].path] = level
-			d.Rate += level
-			for _, li := range subs[si].links {
-				links[li].used += level
-				links[li].count--
-			}
-		}
-		// Neighbouring links got new bounds; lazy revalidation handles
-		// them when popped, but the bottleneck itself is done.
-	}
-	if remaining > 0 {
-		return fmt.Errorf("network: solver left %d subflows unallocated", remaining)
-	}
-	return nil
+	s := solverPool.Get().(*Solver)
+	err := s.Solve(f, demands)
+	solverPool.Put(s)
+	return err
 }
 
 // LinkLoad reports post-solve utilisation of fabric links: a map from
 // fabric link id to the fraction of capacity in use. Only links crossed
-// by at least one demand appear.
+// by at least one demand appear. Fabric link ids are dense, so the sums
+// accumulate in a scratch slice and only the touched links are copied
+// into the result map.
 func LinkLoad(f *fabric.Fabric, demands []*Demand) map[int]float64 {
-	used := make(map[int]float64)
+	used := make([]float64, len(f.Links))
+	seen := make([]bool, len(f.Links))
+	touched := 0
 	for _, d := range demands {
 		for pi, p := range d.Paths {
+			r := d.SubRates[pi]
 			for _, lid := range p {
-				used[lid] += d.SubRates[pi]
+				if !seen[lid] {
+					seen[lid] = true
+					touched++
+				}
+				used[lid] += r
 			}
 		}
 	}
-	for lid := range used {
-		used[lid] /= f.Links[lid].Cap
+	out := make(map[int]float64, touched)
+	for lid, ok := range seen {
+		if ok {
+			out[lid] = used[lid] / f.Links[lid].Cap
+		}
 	}
-	return used
-}
-
-type boundEntry struct {
-	bound float64
-	link  int32
-}
-
-type boundHeap []boundEntry
-
-func (h boundHeap) Len() int           { return len(h) }
-func (h boundHeap) Less(i, j int) bool { return h[i].bound < h[j].bound }
-func (h boundHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *boundHeap) Push(x any)        { *h = append(*h, x.(boundEntry)) }
-func (h *boundHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return out
 }

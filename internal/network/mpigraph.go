@@ -80,55 +80,19 @@ func (r MpiGraphResult) Histogram(n int) (edges []float64, counts []int) {
 // tight distribution on a non-blocking fat tree, a wide one on the
 // tapered dragonfly.
 func RunMpiGraph(f *fabric.Fabric, cfg MpiGraphConfig, rng *rand.Rand) (MpiGraphResult, error) {
-	nodes := cfg.Nodes
-	if nodes == 0 {
-		nodes = f.Cfg.ComputeNodes()
+	nodes, ranks, shifts, err := cfg.resolve(f)
+	if err != nil {
+		return MpiGraphResult{}, err
 	}
-	if nodes > f.Cfg.ComputeNodes() {
-		return MpiGraphResult{}, fmt.Errorf("network: %d nodes exceeds fabric's %d", nodes, f.Cfg.ComputeNodes())
-	}
-	if nodes < 2 {
-		return MpiGraphResult{}, fmt.Errorf("network: mpiGraph needs at least two nodes")
-	}
-	ranks := cfg.RanksPerNode
-	if ranks < 1 || ranks > f.Cfg.NICsPerNode {
-		ranks = f.Cfg.NICsPerNode
-	}
-	shifts := cfg.Shifts
-	if shifts <= 0 || shifts >= nodes {
-		shifts = nodes - 1
-	}
-	// Sample distinct shifts in [1, nodes): always include 1 (mostly
-	// intra-group on Frontier's packed numbering) and a far shift.
-	chosen := map[int]bool{1: true, nodes / 2: true}
-	for len(chosen) < shifts {
-		chosen[1+rng.Intn(nodes-1)] = true
-	}
-	// Iterate shifts in sorted order: map iteration order would otherwise
-	// reshuffle the rng draws below between runs, making the census
-	// nondeterministic even at a fixed seed.
-	order := make([]int, 0, len(chosen))
-	for s := range chosen {
-		order = append(order, s)
-	}
-	sort.Ints(order)
+	order := sampleShifts(nodes, shifts, rng)
 	var result MpiGraphResult
 	for _, s := range order {
-		demands := make([]*Demand, 0, nodes*ranks)
-		for i := 0; i < nodes; i++ {
-			j := (i + s) % nodes
-			if j == i {
-				continue
-			}
-			for k := 0; k < ranks; k++ {
-				src := f.NodeEndpoints(i)[k%f.Cfg.NICsPerNode]
-				dst := f.NodeEndpoints(j)[k%f.Cfg.NICsPerNode]
-				ps, err := f.AdaptivePaths(src, dst, cfg.ValiantPaths, rng)
-				if err != nil {
-					return MpiGraphResult{}, err
-				}
-				demands = append(demands, &Demand{Src: src, Dst: dst, Paths: ps.Paths})
-			}
+		demands, err := buildShiftDemands(f, nodes, ranks, s, func(src, dst int) ([][]int, error) {
+			ps, err := f.AdaptivePaths(src, dst, cfg.ValiantPaths, rng)
+			return ps.Paths, err
+		})
+		if err != nil {
+			return MpiGraphResult{}, err
 		}
 		if err := Solve(f, demands); err != nil {
 			return MpiGraphResult{}, err
@@ -141,6 +105,76 @@ func RunMpiGraph(f *fabric.Fabric, cfg MpiGraphConfig, rng *rand.Rand) (MpiGraph
 			result.Samples = append(result.Samples, v)
 		}
 	}
+	return finishMpiGraph(result)
+}
+
+// resolve validates cfg against the fabric and applies defaults.
+func (cfg MpiGraphConfig) resolve(f *fabric.Fabric) (nodes, ranks, shifts int, err error) {
+	nodes = cfg.Nodes
+	if nodes == 0 {
+		nodes = f.Cfg.ComputeNodes()
+	}
+	if nodes > f.Cfg.ComputeNodes() {
+		return 0, 0, 0, fmt.Errorf("network: %d nodes exceeds fabric's %d", nodes, f.Cfg.ComputeNodes())
+	}
+	if nodes < 2 {
+		return 0, 0, 0, fmt.Errorf("network: mpiGraph needs at least two nodes")
+	}
+	ranks = cfg.RanksPerNode
+	if ranks < 1 || ranks > f.Cfg.NICsPerNode {
+		ranks = f.Cfg.NICsPerNode
+	}
+	shifts = cfg.Shifts
+	if shifts <= 0 || shifts >= nodes {
+		shifts = nodes - 1
+	}
+	return nodes, ranks, shifts, nil
+}
+
+// sampleShifts draws the set of shift permutations to measure, in sorted
+// order. Distinct shifts in [1, nodes): always include 1 (mostly
+// intra-group on Frontier's packed numbering) and a far shift. Sorted
+// iteration matters: map order would otherwise reshuffle later rng draws
+// between runs, making the census nondeterministic even at a fixed seed.
+func sampleShifts(nodes, shifts int, rng *rand.Rand) []int {
+	chosen := map[int]bool{1: true, nodes / 2: true}
+	for len(chosen) < shifts {
+		chosen[1+rng.Intn(nodes-1)] = true
+	}
+	order := make([]int, 0, len(chosen))
+	for s := range chosen {
+		order = append(order, s)
+	}
+	sort.Ints(order)
+	return order
+}
+
+// buildShiftDemands constructs one shift's demand set: rank k of node i
+// sends to rank k of node i+s. paths supplies the route set per endpoint
+// pair — the serial census threads a shared rng through AdaptivePaths,
+// the parallel census an epoch-cached PathCache.
+func buildShiftDemands(f *fabric.Fabric, nodes, ranks, s int, paths func(src, dst int) ([][]int, error)) ([]*Demand, error) {
+	demands := make([]*Demand, 0, nodes*ranks)
+	for i := 0; i < nodes; i++ {
+		j := (i + s) % nodes
+		if j == i {
+			continue
+		}
+		for k := 0; k < ranks; k++ {
+			src := f.NodeEndpoints(i)[k%f.Cfg.NICsPerNode]
+			dst := f.NodeEndpoints(j)[k%f.Cfg.NICsPerNode]
+			ps, err := paths(src, dst)
+			if err != nil {
+				return nil, err
+			}
+			demands = append(demands, &Demand{Src: src, Dst: dst, Paths: ps})
+		}
+	}
+	return demands, nil
+}
+
+// finishMpiGraph sorts the samples and fills the summary statistics.
+func finishMpiGraph(result MpiGraphResult) (MpiGraphResult, error) {
 	if len(result.Samples) == 0 {
 		return MpiGraphResult{}, fmt.Errorf("network: no samples collected")
 	}

@@ -1,0 +1,108 @@
+package network
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"frontiersim/internal/fabric"
+	"frontiersim/internal/harness"
+)
+
+// ParallelConfig tunes parallel evaluation of independent solves.
+type ParallelConfig struct {
+	// Jobs bounds worker concurrency; <=0 means GOMAXPROCS.
+	Jobs int
+	// Seed is the root seed. Every per-task stream derives from it via
+	// SplitMix64 (see harness.DeriveSeed), so results are byte-identical
+	// at any Jobs setting.
+	Seed int64
+}
+
+// RunMpiGraphParallel runs the mpiGraph census with its shift
+// permutations evaluated concurrently on the harness worker pool.
+//
+// It differs from RunMpiGraph in two ways that make the shifts
+// independent (and therefore parallel and cache-friendly) units of work:
+// each shift draws measurement jitter from its own SplitMix64-derived rng
+// stream, and adaptive-routing path sets come from an epoch-cached
+// fabric.PathCache instead of a shared rng thread. Both are deterministic
+// functions of cfg and pcfg.Seed alone, so a run at Jobs=1 and a run at
+// Jobs=N return identical results (TestMpiGraphSerialParallelEquivalence
+// pins this); the sample distribution is statistically equivalent to the
+// serial census but not sample-for-sample identical to it.
+func RunMpiGraphParallel(ctx context.Context, f *fabric.Fabric, cfg MpiGraphConfig, pcfg ParallelConfig) (MpiGraphResult, error) {
+	nodes, ranks, shifts, err := cfg.resolve(f)
+	if err != nil {
+		return MpiGraphResult{}, err
+	}
+	order := sampleShifts(nodes, shifts, rand.New(rand.NewSource(pcfg.Seed)))
+	cache := fabric.NewPathCache(f, cfg.ValiantPaths, harness.DeriveSeed(pcfg.Seed, "mpigraph-paths"))
+
+	tasks := make([]harness.Task[[]float64], len(order))
+	for ti, s := range order {
+		s := s
+		tasks[ti] = harness.Task[[]float64]{
+			ID: fmt.Sprintf("shift-%d", s),
+			Run: func(_ context.Context, seed int64) ([]float64, error) {
+				demands, err := buildShiftDemands(f, nodes, ranks, s, func(src, dst int) ([][]int, error) {
+					ps, err := cache.Paths(src, dst)
+					return ps.Paths, err
+				})
+				if err != nil {
+					return nil, err
+				}
+				if err := Solve(f, demands); err != nil {
+					return nil, err
+				}
+				rng := rand.New(rand.NewSource(seed))
+				samples := make([]float64, 0, len(demands))
+				for _, d := range demands {
+					v := d.Rate * (1 + cfg.MeasureJitter*rng.NormFloat64())
+					if v < 0 {
+						v = 0
+					}
+					samples = append(samples, v)
+				}
+				return samples, nil
+			},
+		}
+	}
+	results, err := harness.Run(ctx, harness.Config{Jobs: pcfg.Jobs, FailFast: true, RootSeed: pcfg.Seed}, tasks, nil)
+	if err != nil {
+		return MpiGraphResult{}, err
+	}
+	var result MpiGraphResult
+	for _, r := range results {
+		result.Samples = append(result.Samples, r.Value...)
+	}
+	return finishMpiGraph(result)
+}
+
+// RunGPCNeTTrials runs trials independent repetitions of the GPCNeT
+// benchmark concurrently, one derived rng stream per trial, and returns
+// the per-trial results in trial order. The fabric is shared read-only
+// across workers; results are byte-identical at any Jobs setting.
+func RunGPCNeTTrials(ctx context.Context, f *fabric.Fabric, cfg GPCNeTConfig, trials int, pcfg ParallelConfig) ([]GPCNeTResult, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("network: GPCNeT needs at least one trial, got %d", trials)
+	}
+	tasks := make([]harness.Task[GPCNeTResult], trials)
+	for i := range tasks {
+		tasks[i] = harness.Task[GPCNeTResult]{
+			ID: fmt.Sprintf("trial-%d", i),
+			Run: func(_ context.Context, seed int64) (GPCNeTResult, error) {
+				return RunGPCNeT(f, cfg, rand.New(rand.NewSource(seed)))
+			},
+		}
+	}
+	results, err := harness.Run(ctx, harness.Config{Jobs: pcfg.Jobs, FailFast: true, RootSeed: pcfg.Seed}, tasks, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GPCNeTResult, len(results))
+	for i, r := range results {
+		out[i] = r.Value
+	}
+	return out, nil
+}

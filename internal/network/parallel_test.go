@@ -1,0 +1,138 @@
+package network
+
+import (
+	"context"
+	"testing"
+)
+
+// The paper-level guarantee of the parallel census: worker count is
+// invisible in the results. Serial (Jobs=1) and parallel (Jobs=8) runs
+// must agree sample-for-sample, not just statistically.
+func TestMpiGraphSerialParallelEquivalence(t *testing.T) {
+	f := smallFabric(t)
+	cfg := DefaultMpiGraphConfig()
+	cfg.Shifts = 6
+	run := func(jobs int) MpiGraphResult {
+		res, err := RunMpiGraphParallel(context.Background(), f, cfg, ParallelConfig{Jobs: jobs, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+	if len(serial.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	if len(serial.Samples) != len(parallel.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(serial.Samples), len(parallel.Samples))
+	}
+	for i := range serial.Samples {
+		if serial.Samples[i] != parallel.Samples[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, serial.Samples[i], parallel.Samples[i])
+		}
+	}
+	if serial.Min != parallel.Min || serial.Max != parallel.Max ||
+		serial.Mean != parallel.Mean || serial.Median != parallel.Median {
+		t.Fatalf("summary stats differ: %+v vs %+v", serial, parallel)
+	}
+}
+
+// Different seeds must produce different censuses (the derived streams
+// actually depend on the root seed).
+func TestMpiGraphParallelSeedSensitivity(t *testing.T) {
+	f := smallFabric(t)
+	cfg := DefaultMpiGraphConfig()
+	cfg.Shifts = 4
+	a, err := RunMpiGraphParallel(context.Background(), f, cfg, ParallelConfig{Jobs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMpiGraphParallel(context.Background(), f, cfg, ParallelConfig{Jobs: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a.Samples) == len(b.Samples)
+	if same {
+		for i := range a.Samples {
+			if a.Samples[i] != b.Samples[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical censuses")
+	}
+}
+
+// The parallel census must stay inside the same physical envelope the
+// serial census is tested against.
+func TestMpiGraphParallelEnvelope(t *testing.T) {
+	f := smallFabric(t)
+	res, err := RunMpiGraphParallel(context.Background(), f, DefaultMpiGraphConfig(), ParallelConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nicPeak := float64(f.Cfg.LinkRate) * f.Cfg.EndpointEfficiency
+	if res.Max > nicPeak*1.1 {
+		t.Errorf("max %.3g exceeds NIC ceiling %.3g", res.Max, nicPeak)
+	}
+	if res.Min <= 0 {
+		t.Error("min should be positive")
+	}
+	if res.Spread() < 1.5 {
+		t.Errorf("dragonfly spread = %.2f, want wide (>1.5)", res.Spread())
+	}
+}
+
+func TestMpiGraphParallelErrors(t *testing.T) {
+	f := smallFabric(t)
+	cfg := DefaultMpiGraphConfig()
+	cfg.Nodes = 10000
+	if _, err := RunMpiGraphParallel(context.Background(), f, cfg, ParallelConfig{Seed: 4}); err == nil {
+		t.Error("too many nodes should error")
+	}
+}
+
+// GPCNeT trial sets: per-trial derived streams make the batch
+// worker-count invariant too.
+func TestGPCNeTTrialsSerialParallelEquivalence(t *testing.T) {
+	f := smallFabric(t)
+	cfg := DefaultGPCNeTConfig()
+	cfg.Nodes = 45
+	cfg.LatencySamples = 400
+	run := func(jobs int) []GPCNeTResult {
+		res, err := RunGPCNeTTrials(context.Background(), f, cfg, 4, ParallelConfig{Jobs: jobs, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(4)
+	if len(serial) != 4 || len(parallel) != 4 {
+		t.Fatalf("want 4 trials, got %d and %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.BandwidthImpact != p.BandwidthImpact || s.LatencyImpact != p.LatencyImpact ||
+			s.AllreduceImpact != p.AllreduceImpact ||
+			s.Isolated.Bandwidth.Average != p.Isolated.Bandwidth.Average ||
+			s.Congested.Latency.Average != p.Congested.Latency.Average {
+			t.Fatalf("trial %d differs between jobs=1 and jobs=4:\n%+v\n%+v", i, s, p)
+		}
+	}
+	// Independent trials should not all collapse to one value.
+	if serial[0].Isolated.Bandwidth.Average == serial[1].Isolated.Bandwidth.Average &&
+		serial[1].Isolated.Bandwidth.Average == serial[2].Isolated.Bandwidth.Average {
+		t.Error("distinct trials returned identical bandwidth averages; seeds look shared")
+	}
+}
+
+func TestGPCNeTTrialsErrors(t *testing.T) {
+	f := smallFabric(t)
+	if _, err := RunGPCNeTTrials(context.Background(), f, DefaultGPCNeTConfig(), 0, ParallelConfig{}); err == nil {
+		t.Error("zero trials should error")
+	}
+}

@@ -67,13 +67,27 @@ type Event struct {
 	at     Time
 	seq    uint64
 	fn     func()
+	k      *Kernel
 	index  int // heap index, -1 once popped or cancelled
 	cancel bool
 }
 
-// Cancel prevents the event from running. Cancelling an already-executed or
+// Cancel prevents the event from running. The event is removed from the
+// calendar immediately (the heap maintains each event's index, so removal
+// is O(log n)), which keeps Pending accurate and stops long-lived kernels
+// from accumulating cancelled garbage — a periodic Every sweep that is
+// cancelled leaves nothing behind. Cancelling an already-executed or
 // already-cancelled event is a no-op.
-func (e *Event) Cancel() { e.cancel = true }
+func (e *Event) Cancel() {
+	if e.cancel {
+		return
+	}
+	e.cancel = true
+	if e.k != nil && e.index >= 0 {
+		heap.Remove(&e.k.queue, e.index)
+		e.index = -1
+	}
+}
 
 // Cancelled reports whether Cancel was called.
 func (e *Event) Cancelled() bool { return e.cancel }
@@ -87,7 +101,7 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
-	e := &Event{at: t, seq: k.seq, fn: fn}
+	e := &Event{at: t, seq: k.seq, fn: fn, k: k}
 	k.seq++
 	heap.Push(&k.queue, e)
 	return e
@@ -141,7 +155,8 @@ func (k *Kernel) RunUntil(horizon Time) {
 	}
 }
 
-// Pending reports the number of queued (possibly cancelled) events.
+// Pending reports the number of queued events. Cancelled events are
+// removed from the calendar eagerly, so they never count.
 func (k *Kernel) Pending() int { return k.queue.Len() }
 
 func (k *Kernel) pop() *Event {
@@ -204,13 +219,19 @@ func (k *Kernel) Every(period Time, fn func()) (cancel func()) {
 		panic("sim: period must be positive")
 	}
 	var e *Event
+	cancelled := false
 	var tick func()
 	tick = func() {
 		fn()
+		if cancelled {
+			// fn itself called cancel: do not reschedule.
+			return
+		}
 		e = k.After(period, tick)
 	}
 	e = k.After(period, tick)
 	return func() {
+		cancelled = true
 		if e != nil {
 			e.Cancel()
 			e = nil

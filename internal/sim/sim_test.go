@@ -267,3 +267,73 @@ func TestEvery(t *testing.T) {
 	}
 	mustPanic(t, "zero period", func() { k.Every(0, func() {}) })
 }
+
+func TestCancelRemovesFromCalendarEagerly(t *testing.T) {
+	k := NewKernel(1)
+	e1 := k.After(1, func() {})
+	e2 := k.After(2, func() {})
+	e3 := k.After(3, func() {})
+	if k.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", k.Pending())
+	}
+	e2.Cancel()
+	if k.Pending() != 2 {
+		t.Errorf("Pending after cancel = %d, want 2 (eager removal)", k.Pending())
+	}
+	// Double-cancel and cross-cancel are no-ops.
+	e2.Cancel()
+	if k.Pending() != 2 {
+		t.Errorf("Pending after double cancel = %d, want 2", k.Pending())
+	}
+	e1.Cancel()
+	e3.Cancel()
+	if k.Pending() != 0 {
+		t.Errorf("Pending after cancelling all = %d, want 0", k.Pending())
+	}
+	k.Run()
+	if k.Executed() != 0 {
+		t.Errorf("Executed = %d, want 0", k.Executed())
+	}
+}
+
+// A long-lived kernel whose periodic sweeps get cancelled must not
+// accumulate cancelled garbage in the calendar.
+func TestCancelledEverySweepsLeaveNoGarbage(t *testing.T) {
+	k := NewKernel(1)
+	for i := 0; i < 100; i++ {
+		cancel := k.Every(10, func() {})
+		cancel()
+	}
+	if k.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0 after cancelling every sweep", k.Pending())
+	}
+	// Cancelling mid-flight: run a sweep for a few ticks, cancel from
+	// inside an event, and check the calendar drains completely.
+	ticks := 0
+	var cancel func()
+	cancel = k.Every(5, func() {
+		ticks++
+		if ticks == 3 {
+			cancel()
+		}
+	})
+	k.Run()
+	if ticks != 3 {
+		t.Errorf("ticks = %d, want 3", ticks)
+	}
+	if k.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0 after self-cancel", k.Pending())
+	}
+}
+
+func TestCancelExecutedEventIsNoOp(t *testing.T) {
+	k := NewKernel(1)
+	var e *Event
+	e = k.After(1, func() {})
+	k.After(2, func() {})
+	k.Run()
+	e.Cancel() // already executed: index is -1, nothing to remove
+	if k.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", k.Pending())
+	}
+}
