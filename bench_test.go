@@ -193,6 +193,68 @@ func BenchmarkAdaptivePathsCached(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamDerivation measures the cost of minting a named
+// random stream from a kernel — the seeding tax the internal/rng
+// package exists to kill. With the legacy lagged-Fibonacci source this
+// was a 607-element warmup per stream; with SplitMix64-seeded
+// xoshiro256++ it is a hash plus four words of state.
+func BenchmarkStreamDerivation(b *testing.B) {
+	k := sim.NewKernel(42)
+	names := [...]string{"nic", "gpu", "hbm", "scheduler"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if k.Stream(names[i%len(names)]) == nil {
+			b.Fatal("nil stream")
+		}
+	}
+}
+
+// BenchmarkPathCacheFill measures the adaptive-route path-set fill that
+// dominates the full-scale census. The cold case pays the whole fill —
+// per-pair stream derivation plus the CSR path build — on every
+// iteration (a fresh cache per pass over the endpoints); the warm case
+// is the steady-state cache hit.
+func BenchmarkPathCacheFill(b *testing.B) {
+	f, err := fabric.NewDragonfly(fabric.ScaledConfig(16, 16, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := f.Cfg.ComputeEndpoints()
+	const pairs = 64
+	b.Run("cold", func(b *testing.B) {
+		cache := fabric.NewPathCache(f, 4, 1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src := i % pairs
+			dst := (src + n/2) % n
+			if src == 0 {
+				cache.Invalidate()
+			}
+			if _, err := cache.Paths(src, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache := fabric.NewPathCache(f, 4, 1)
+		for src := 0; src < pairs; src++ {
+			if _, err := cache.Paths(src, (src+n/2)%n); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src := i % pairs
+			dst := (src + n/2) % n
+			if _, err := cache.Paths(src, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkFig6FullScale runs the full-machine mpiGraph census — 9,408
 // nodes, 8 shift permutations, 4 ranks per node — through the parallel
 // harness with epoch-cached routes: the paper's Figure 6 at production

@@ -6,6 +6,18 @@
 // Usage:
 //
 //	go test -bench=. -benchtime=1x -benchmem -run='^$' . | benchjson -sha=$GITHUB_SHA > BENCH_$GITHUB_SHA.json
+//
+// Compare mode diffs two archived reports and flags allocation
+// regressions, so the CI bench job can warn when a commit quietly gives
+// back the B/op and allocs/op wins the perf trajectory records:
+//
+//	benchjson -compare BENCH_old.json BENCH_new.json
+//
+// Every benchmark present in both reports is printed with its ns/op,
+// B/op and allocs/op deltas; a B/op or allocs/op increase beyond
+// -threshold (default 20%) is flagged as a REGRESSION line and the exit
+// status is 3. ns/op is reported but never flagged — wall time on shared
+// CI runners is too noisy to gate on.
 package main
 
 import (
@@ -44,7 +56,13 @@ type Report struct {
 
 func main() {
 	sha := flag.String("sha", "", "commit sha recorded in the report")
+	compare := flag.Bool("compare", false, "compare two reports: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 0.20, "relative B/op or allocs/op increase flagged as a regression in compare mode")
 	flag.Parse()
+
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *threshold))
+	}
 
 	rep := Report{SHA: *sha}
 	sc := bufio.NewScanner(os.Stdin)
@@ -76,6 +94,95 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare diffs two archived reports. Benchmarks are matched by name
+// (sub-benchmarks keep their full slash-separated path); ones present in
+// only one report are listed but not flagged, since renames and new
+// benchmarks are routine. Returns 0 when clean, 2 on usage or read
+// errors, 3 when at least one regression exceeds the threshold.
+func runCompare(paths []string, threshold float64) int {
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two report files: old.json new.json")
+		return 2
+	}
+	old, err := loadReport(paths[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	cur, err := loadReport(paths[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	prev := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		prev[b.Name] = b
+	}
+	fmt.Printf("comparing %s (%s) -> %s (%s), regression threshold +%.0f%%\n",
+		paths[0], orDash(old.SHA), paths[1], orDash(cur.SHA), threshold*100)
+	var compared, regressions int
+	for _, nb := range cur.Benchmarks {
+		ob, ok := prev[nb.Name]
+		if !ok {
+			fmt.Printf("  %-40s new benchmark\n", nb.Name)
+			continue
+		}
+		delete(prev, nb.Name)
+		compared++
+		fmt.Printf("  %-40s ns/op %s   B/op %s   allocs/op %s\n", nb.Name,
+			delta(ob.NsPerOp, nb.NsPerOp),
+			delta(ob.BytesPerOp, nb.BytesPerOp),
+			delta(ob.AllocsPerOp, nb.AllocsPerOp))
+		check := func(metric string, o, n float64) {
+			if o > 0 && n > o*(1+threshold) {
+				fmt.Printf("REGRESSION: %s %s %.0f -> %.0f (+%.1f%%) exceeds +%.0f%%\n",
+					nb.Name, metric, o, n, (n/o-1)*100, threshold*100)
+				regressions++
+			}
+		}
+		check("B/op", ob.BytesPerOp, nb.BytesPerOp)
+		check("allocs/op", ob.AllocsPerOp, nb.AllocsPerOp)
+	}
+	for _, b := range old.Benchmarks {
+		if _, unmatched := prev[b.Name]; unmatched {
+			fmt.Printf("  %-40s removed (was in %s)\n", b.Name, paths[0])
+		}
+	}
+	fmt.Printf("%d benchmarks compared, %d regressions\n", compared, regressions)
+	if regressions > 0 {
+		return 3
+	}
+	return 0
+}
+
+func loadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// delta renders "old -> new (+x%)"; a zero old value has no meaningful
+// ratio, so just the raw values are shown.
+func delta(o, n float64) string {
+	if o == 0 {
+		return fmt.Sprintf("%.0f -> %.0f", o, n)
+	}
+	return fmt.Sprintf("%.0f -> %.0f (%+.1f%%)", o, n, (n/o-1)*100)
 }
 
 // parseLine parses one result line of the standard bench output format:

@@ -29,23 +29,37 @@ import (
 
 	"frontiersim/internal/experiments"
 	"frontiersim/internal/harness"
+	"frontiersim/internal/profiling"
 )
 
-func main() {
+// main delegates to run so that deferred cleanup (profile flushing,
+// signal-handler teardown) runs on every exit path; os.Exit would skip it.
+func main() { os.Exit(run()) }
+
+func run() int {
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	quick := flag.Bool("quick", false, "reduced sampling (smoke test)")
 	seed := flag.Int64("seed", 42, "root random seed (per-experiment seeds are derived from it)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max experiments run concurrently (1 = serial)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = none)")
 	keepGoing := flag.Bool("keepgoing", false, "run every experiment even after a failure")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
 	flag.Parse()
 
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "frontier-sim:", err)
+		return 1
+	}
+	defer stopProf()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -71,7 +85,7 @@ func main() {
 			slowest.ID, slowest.Duration.Round(time.Millisecond))
 		if !experiments.AllPass(results) {
 			fmt.Fprintln(os.Stderr, "frontier-sim: reproduction check FAILED")
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println("all experiments within their reproduction envelopes")
 	case "list":
@@ -81,7 +95,7 @@ func main() {
 	case "run":
 		if len(args) < 2 {
 			fmt.Fprintln(os.Stderr, "frontier-sim: run needs experiment ids or 'all'")
-			os.Exit(2)
+			return 2
 		}
 		var runners []experiments.Runner
 		if args[1] == "all" {
@@ -91,7 +105,7 @@ func main() {
 				r, err := experiments.ByID(id)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "frontier-sim:", err)
-					os.Exit(1)
+					return 1
 				}
 				runners = append(runners, r)
 			}
@@ -118,13 +132,14 @@ func main() {
 				sum.LongestID, sum.Longest.Round(time.Millisecond), *jobs)
 		}
 		if err != nil {
-			os.Exit(1)
+			return 1
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "frontier-sim: unknown command %q\n", args[0])
 		usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 // summarize converts experiment results to the harness metric fold.

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	gpcnet [-nodes N] [-ppn P] [-cc=false] [-trials T] [-jobs J]
+//	       [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -trials > 1 the repetitions run concurrently on a bounded worker
 // pool, one derived rng stream per trial; the first trial's table is
@@ -16,26 +17,38 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
 	"frontiersim/internal/fabric"
 	"frontiersim/internal/network"
+	"frontiersim/internal/profiling"
+	"frontiersim/internal/rng"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	nodes := flag.Int("nodes", 9400, "participating nodes")
 	ppn := flag.Int("ppn", 8, "processes per node")
 	cc := flag.Bool("cc", true, "hardware congestion control enabled")
 	seed := flag.Int64("seed", 1, "random seed")
 	trials := flag.Int("trials", 1, "independent benchmark repetitions")
 	jobs := flag.Int("jobs", 0, "concurrent trial workers (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpcnet:", err)
+		return 1
+	}
+	defer stopProf()
 
 	f, err := fabric.NewDragonfly(fabric.FrontierConfig())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpcnet:", err)
-		os.Exit(1)
+		return 1
 	}
 	cfg := network.DefaultGPCNeTConfig()
 	cfg.Nodes = *nodes
@@ -50,11 +63,11 @@ func main() {
 			res = all[0]
 		}
 	} else {
-		res, err = network.RunGPCNeT(f, cfg, rand.New(rand.NewSource(*seed)))
+		res, err = network.RunGPCNeT(f, cfg, rng.New(*seed))
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpcnet:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("GPCNeT on %d nodes, %d PPN, congestion control %v\n\n", *nodes, *ppn, *cc)
 	fmt.Printf("%-32s %10s %10s\n", "test", "isolated", "congested")
@@ -83,4 +96,5 @@ func main() {
 		n := float64(len(all))
 		fmt.Printf("  mean:    bandwidth %.2fx, latency %.2fx, allreduce %.2fx\n", bw/n, lat/n, ar/n)
 	}
+	return 0
 }

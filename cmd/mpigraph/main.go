@@ -5,6 +5,7 @@
 // Usage:
 //
 //	mpigraph -fabric frontier|summit [-nodes N] [-shifts S] [-bins B] [-jobs J]
+//	         [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // Shifts are evaluated concurrently on a bounded worker pool with
 // epoch-cached adaptive routes; the census is byte-identical at any
@@ -20,19 +21,30 @@ import (
 
 	"frontiersim/internal/fabric"
 	"frontiersim/internal/network"
+	"frontiersim/internal/profiling"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	fab := flag.String("fabric", "frontier", "fabric: frontier (dragonfly) or summit (fat tree)")
 	nodes := flag.Int("nodes", 0, "participating nodes (0 = all)")
 	shifts := flag.Int("shifts", 8, "shift permutations to sample")
 	bins := flag.Int("bins", 20, "histogram bins")
 	seed := flag.Int64("seed", 1, "random seed")
 	jobs := flag.Int("jobs", 0, "concurrent shift workers (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpigraph:", err)
+		return 1
+	}
+	defer stop()
+
 	var f *fabric.Fabric
-	var err error
 	cfg := network.DefaultMpiGraphConfig()
 	switch *fab {
 	case "frontier":
@@ -42,11 +54,11 @@ func main() {
 		cfg.RanksPerNode = 1
 	default:
 		fmt.Fprintf(os.Stderr, "mpigraph: unknown fabric %q\n", *fab)
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpigraph:", err)
-		os.Exit(1)
+		return 1
 	}
 	cfg.Nodes = *nodes
 	cfg.Shifts = *shifts
@@ -54,7 +66,7 @@ func main() {
 		network.ParallelConfig{Jobs: *jobs, Seed: *seed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpigraph:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("%s: %d samples\n", f, len(res.Samples))
 	fmt.Printf("min %.2f GB/s  median %.2f  mean %.2f  max %.2f  spread %.1fx\n\n",
@@ -70,4 +82,5 @@ func main() {
 		bar := strings.Repeat("#", counts[i]*60/maxCount)
 		fmt.Printf("<= %6.2f GB/s %8d %s\n", edges[i]/1e9, counts[i], bar)
 	}
+	return 0
 }

@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
+	"frontiersim/internal/rng"
 
 	"frontiersim/internal/fabric"
 	"frontiersim/internal/memory"
@@ -78,7 +78,7 @@ func AblationRouting(o Options) (*report.Table, error) {
 		cfg.Shifts = 2
 		cfg.ValiantPaths = valiant
 		cfg.MeasureJitter = 0
-		res, err := network.RunMpiGraph(f, cfg, rand.New(rand.NewSource(o.Seed)))
+		res, err := network.RunMpiGraph(f, cfg, rng.New(o.Seed))
 		if err != nil {
 			return nil, err
 		}
@@ -108,7 +108,7 @@ func AblationCC(o Options) (*report.Table, error) {
 		if o.Quick {
 			cfg.LatencySamples = 600
 		}
-		res, err := network.RunGPCNeT(f, cfg, rand.New(rand.NewSource(o.Seed)))
+		res, err := network.RunGPCNeT(f, cfg, rng.New(o.Seed))
 		if err != nil {
 			return nil, err
 		}

@@ -2,8 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"frontiersim/internal/rng"
 	"math"
-	"math/rand"
 
 	"frontiersim/internal/core"
 	"frontiersim/internal/fabric"
@@ -33,7 +33,7 @@ func AblationPPN(o Options) (*report.Table, error) {
 		if o.Quick {
 			cfg.LatencySamples = 600
 		}
-		res, err := network.RunGPCNeT(f, cfg, rand.New(rand.NewSource(o.Seed)))
+		res, err := network.RunGPCNeT(f, cfg, rng.New(o.Seed))
 		if err != nil {
 			return nil, err
 		}
@@ -203,10 +203,10 @@ func ExtMiniapps(o Options) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(o.Seed))
+	r := rng.New(o.Seed)
 	var before float64
 	for i := range vol.Data {
-		vol.Data[i] = complex(rng.NormFloat64(), 0)
+		vol.Data[i] = complex(r.NormFloat64(), 0)
 		before += real(vol.Data[i]) * real(vol.Data[i])
 	}
 	if err := vol.Transform(false); err != nil {
@@ -223,7 +223,7 @@ func ExtMiniapps(o Options) (*report.Table, error) {
 		"the GESTS proxy's per-step pass count, measured")
 
 	// N-body (HACC class): validate energy conservation, predict sweep.
-	nb, err := miniapps.NewNBody(64, rng)
+	nb, err := miniapps.NewNBody(64, r)
 	if err != nil {
 		return nil, err
 	}
@@ -242,7 +242,7 @@ func ExtMiniapps(o Options) (*report.Table, error) {
 
 	// GEMM (CoralGemm/CoMet/LSMS class): validate blocking, predict the
 	// Fig. 3 rate.
-	gm, err := miniapps.NewGEMM(48, 16, rng)
+	gm, err := miniapps.NewGEMM(48, 16, r)
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
+	"frontiersim/internal/rng"
 
 	"frontiersim/internal/fabric"
 	"frontiersim/internal/network"
@@ -13,7 +13,7 @@ import (
 // Summit's fat tree.
 func Fig6(o Options) (*report.Table, error) {
 	t := &report.Table{ID: "fig6", Title: "mpiGraph per-NIC receive bandwidth census"}
-	rng := rand.New(rand.NewSource(o.Seed))
+	r := rng.New(o.Seed)
 
 	// Frontier.
 	df, err := fabric.NewDragonfly(fabric.FrontierConfig())
@@ -24,7 +24,7 @@ func Fig6(o Options) (*report.Table, error) {
 	if o.Quick {
 		dcfg.Shifts = 3
 	}
-	dres, err := network.RunMpiGraph(df, dcfg, rng)
+	dres, err := network.RunMpiGraph(df, dcfg, r)
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +43,7 @@ func Fig6(o Options) (*report.Table, error) {
 	if o.Quick {
 		scfg.Shifts = 3
 	}
-	sres, err := network.RunMpiGraph(cl, scfg, rng)
+	sres, err := network.RunMpiGraph(cl, scfg, r)
 	if err != nil {
 		return nil, err
 	}
@@ -70,7 +70,7 @@ func Table5(o Options) (*report.Table, error) {
 	if o.Quick {
 		cfg.LatencySamples = 800
 	}
-	res, err := network.RunGPCNeT(f, cfg, rand.New(rand.NewSource(o.Seed)))
+	res, err := network.RunGPCNeT(f, cfg, rng.New(o.Seed))
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
+	"frontiersim/internal/rng"
 	"sort"
 
 	"frontiersim/internal/hpl"
@@ -47,7 +47,7 @@ func Sec54(o Options) (*report.Table, error) {
 	if o.Quick {
 		horizon = 10 * units.Day
 	}
-	failures := m.Simulate(horizon, rand.New(rand.NewSource(o.Seed)))
+	failures := m.Simulate(horizon, rng.New(o.Seed))
 	measured := float64(resilience.MeasuredMTTI(failures, horizon)) / 3600
 	t.Add("system MTTI (Monte Carlo)", "~4 h", fmt.Sprintf("%.1f h (%d failures / %v)", measured, len(failures), horizon),
 		4, measured, "")

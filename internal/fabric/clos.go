@@ -60,9 +60,7 @@ func NewClos(cfg ClosConfig) (*Fabric, error) {
 			SwitchLatency:        cfg.SwitchLatency,
 			EndpointLatency:      cfg.EndpointLatency,
 		},
-		Kind:       FatTree,
-		intraIndex: make(map[uint64]int),
-		globalPair: make(map[uint64][]int),
+		Kind: FatTree,
 	}
 	var leafIDs []int
 	for s := 0; s <= cfg.Leaves; s++ { // last one is the core
@@ -75,6 +73,7 @@ func NewClos(cfg ClosConfig) (*Fabric, error) {
 	f.NumSwitches = cfg.Leaves + 1
 	f.groupClass = []GroupClass{ComputeGroup}
 	f.groupSwitches = [][]int{leafIDs}
+	f.initRoutingIndex()
 	core := cfg.Leaves
 	epCap := float64(cfg.LinkRate) * cfg.EndpointEfficiency
 	trunk := float64(cfg.LinkRate) * float64(cfg.EndpointsPerLeaf) // non-blocking

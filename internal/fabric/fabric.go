@@ -85,12 +85,22 @@ type Fabric struct {
 	groupSwitches [][]int
 
 	Links []Link
-	// intraIndex maps (fromSwitch<<32 | toSwitch) to a directed intra-
-	// group link id.
-	intraIndex map[uint64]int
-	// globalPair maps (fromGroup<<32 | toGroup) to the directed global
-	// link ids between the two groups.
-	globalPair map[uint64][]int
+	// Routing lookups sit on the path-fill hot loop (millions of probes
+	// per census), so both are dense arrays rather than maps:
+	//
+	// switchLocal[sw] is sw's index within its group's switch list (-1
+	// for the virtual Clos core, which owns no intra links).
+	switchLocal []int32
+	// intraDense packs one (local,local) block per group: entry
+	// intraBase[g] + la*len(group)+lb holds the directed intra link id
+	// biased by +1 (0 = no link). Intra links never cross groups, so the
+	// blocks cover every possible key in Σ len(group)² slots.
+	intraDense []int32
+	intraBase  []int32
+	// globalDense[a*numGroups+b] lists the directed global link ids from
+	// group a to group b.
+	globalDense [][]int
+	numGroups   int
 
 	NumEndpoints   int
 	endpointSwitch []int
@@ -112,8 +122,56 @@ type Fabric struct {
 // still valid.
 func (f *Fabric) StateEpoch() uint64 { return f.stateEpoch }
 
-// key packs two non-negative ints into a map key.
+// key packs two non-negative ints into a cache key.
 func key(a, b int) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
+
+// initRoutingIndex sizes the dense routing lookups once groups and
+// switches exist. Constructors must call it before adding intra or
+// global links.
+func (f *Fabric) initRoutingIndex() {
+	f.numGroups = len(f.groupSwitches)
+	f.switchLocal = make([]int32, f.NumSwitches)
+	for i := range f.switchLocal {
+		f.switchLocal[i] = -1
+	}
+	f.intraBase = make([]int32, f.numGroups+1)
+	base := int32(0)
+	for g, ids := range f.groupSwitches {
+		f.intraBase[g] = base
+		for li, sw := range ids {
+			f.switchLocal[sw] = int32(li)
+		}
+		base += int32(len(ids) * len(ids))
+	}
+	f.intraBase[f.numGroups] = base
+	f.intraDense = make([]int32, base)
+	f.globalDense = make([][]int, f.numGroups*f.numGroups)
+}
+
+// setIntra records a directed intra-group link in the dense index.
+func (f *Fabric) setIntra(a, b, id int) {
+	g := f.SwitchGroup[a]
+	n := int32(len(f.groupSwitches[g]))
+	f.intraDense[f.intraBase[g]+f.switchLocal[a]*n+f.switchLocal[b]] = int32(id) + 1
+}
+
+// intraLink returns the directed intra-group link a -> b, if one exists.
+func (f *Fabric) intraLink(a, b int) (int, bool) {
+	g := f.SwitchGroup[a]
+	if g != f.SwitchGroup[b] {
+		return 0, false
+	}
+	la, lb := f.switchLocal[a], f.switchLocal[b]
+	if la < 0 || lb < 0 {
+		return 0, false
+	}
+	n := int32(len(f.groupSwitches[g]))
+	id := f.intraDense[f.intraBase[g]+la*n+lb]
+	if id == 0 {
+		return 0, false
+	}
+	return int(id) - 1, true
+}
 
 // NewDragonfly builds the dragonfly described by cfg. Groups are laid out
 // compute-first, then I/O, then management; endpoints likewise, so the
@@ -124,10 +182,8 @@ func NewDragonfly(cfg Config) (*Fabric, error) {
 		return nil, err
 	}
 	f := &Fabric{
-		Cfg:        cfg,
-		Kind:       Dragonfly,
-		intraIndex: make(map[uint64]int),
-		globalPair: make(map[uint64][]int),
+		Cfg:  cfg,
+		Kind: Dragonfly,
 	}
 	// Groups and switches.
 	for g := 0; g < cfg.TotalGroups(); g++ {
@@ -153,6 +209,7 @@ func NewDragonfly(cfg Config) (*Fabric, error) {
 		f.groupClass = append(f.groupClass, class)
 		f.groupSwitches = append(f.groupSwitches, ids)
 	}
+	f.initRoutingIndex()
 	// Endpoints on every switch.
 	epCap := float64(cfg.LinkRate) * cfg.EndpointEfficiency
 	for sw := 0; sw < f.NumSwitches; sw++ {
@@ -172,7 +229,7 @@ func NewDragonfly(cfg Config) (*Fabric, error) {
 					continue
 				}
 				id := f.addLink(Intra, ids[i], ids[j], float64(cfg.LinkRate))
-				f.intraIndex[key(ids[i], ids[j])] = id
+				f.setIntra(ids[i], ids[j], id)
 			}
 		}
 	}
@@ -185,8 +242,8 @@ func NewDragonfly(cfg Config) (*Fabric, error) {
 				swb := f.groupSwitches[b][(a*n+i)%len(f.groupSwitches[b])]
 				ab := f.addLink(Global, swa, swb, float64(cfg.LinkRate))
 				ba := f.addLink(Global, swb, swa, float64(cfg.LinkRate))
-				f.globalPair[key(a, b)] = append(f.globalPair[key(a, b)], ab)
-				f.globalPair[key(b, a)] = append(f.globalPair[key(b, a)], ba)
+				f.globalDense[a*f.numGroups+b] = append(f.globalDense[a*f.numGroups+b], ab)
+				f.globalDense[b*f.numGroups+a] = append(f.globalDense[b*f.numGroups+a], ba)
 			}
 		}
 	}
@@ -239,7 +296,12 @@ func (f *Fabric) GroupClassOf(g int) GroupClass { return f.groupClass[g] }
 func (f *Fabric) GroupSwitches(g int) []int { return f.groupSwitches[g] }
 
 // GlobalLinks returns the directed global link ids from group a to b.
-func (f *Fabric) GlobalLinks(a, b int) []int { return f.globalPair[key(a, b)] }
+func (f *Fabric) GlobalLinks(a, b int) []int {
+	if a < 0 || b < 0 || a >= f.numGroups || b >= f.numGroups {
+		return nil
+	}
+	return f.globalDense[a*f.numGroups+b]
+}
 
 // FailLink marks a link down.
 func (f *Fabric) FailLink(id int) {
@@ -300,10 +362,19 @@ func (f *Fabric) pickUp(ids []int, offset int) (int, bool) {
 // rng selects among parallel global links; it may be nil for a
 // deterministic choice.
 func (f *Fabric) MinimalPath(src, dst int, rng *rand.Rand) ([]int, error) {
+	return f.appendMinimalPath(make([]int, 0, 6), src, dst, rng)
+}
+
+// appendMinimalPath appends the minimal route's links to buf and returns
+// the extended slice. On error buf's visible contents are unchanged
+// (callers rewind by keeping their original slice header), which is what
+// lets AdaptivePaths fill every route of a path set into one flat
+// backing array.
+func (f *Fabric) appendMinimalPath(buf []int, src, dst int, rng *rand.Rand) ([]int, error) {
 	if src == dst {
 		return nil, fmt.Errorf("fabric: self path for endpoint %d", src)
 	}
-	path := make([]int, 0, 6)
+	path := buf
 	if !f.linkUp(f.injectLink[src]) || !f.linkUp(f.ejectLink[dst]) {
 		return nil, fmt.Errorf("fabric: endpoint link down (%d->%d)", src, dst)
 	}
@@ -333,7 +404,7 @@ func (f *Fabric) MinimalPath(src, dst int, rng *rand.Rand) ([]int, error) {
 		if rng != nil {
 			off = rng.Intn(8)
 		}
-		gl, ok := f.pickUp(f.globalPair[key(g1, g2)], off)
+		gl, ok := f.pickUp(f.GlobalLinks(g1, g2), off)
 		if !ok {
 			return nil, fmt.Errorf("fabric: no global link up from group %d to %d", g1, g2)
 		}
@@ -359,7 +430,7 @@ func (f *Fabric) MinimalPath(src, dst int, rng *rand.Rand) ([]int, error) {
 }
 
 func (f *Fabric) intraUp(a, b int) (int, bool) {
-	id, ok := f.intraIndex[key(a, b)]
+	id, ok := f.intraLink(a, b)
 	if !ok || !f.linkUp(id) {
 		return 0, false
 	}
@@ -370,6 +441,12 @@ func (f *Fabric) intraUp(a, b int) (int, bool) {
 // the Valiant trick dragonflies use to spread adversarial traffic. via
 // must differ from both endpoint groups.
 func (f *Fabric) ValiantPath(src, dst, via int, rng *rand.Rand) ([]int, error) {
+	return f.appendValiantPath(make([]int, 0, 8), src, dst, via, rng)
+}
+
+// appendValiantPath is ValiantPath in the append style of
+// appendMinimalPath: links land in buf, errors leave it untouched.
+func (f *Fabric) appendValiantPath(buf []int, src, dst, via int, rng *rand.Rand) ([]int, error) {
 	s1, s2 := f.endpointSwitch[src], f.endpointSwitch[dst]
 	g1, g2 := f.SwitchGroup[s1], f.SwitchGroup[s2]
 	if via == g1 || via == g2 {
@@ -382,16 +459,15 @@ func (f *Fabric) ValiantPath(src, dst, via int, rng *rand.Rand) ([]int, error) {
 	if rng != nil {
 		off1, off2 = rng.Intn(8), rng.Intn(8)
 	}
-	gl1, ok := f.pickUp(f.globalPair[key(g1, via)], off1)
+	gl1, ok := f.pickUp(f.GlobalLinks(g1, via), off1)
 	if !ok {
 		return nil, fmt.Errorf("fabric: no global link up from group %d to %d", g1, via)
 	}
-	gl2, ok := f.pickUp(f.globalPair[key(via, g2)], off2)
+	gl2, ok := f.pickUp(f.GlobalLinks(via, g2), off2)
 	if !ok {
 		return nil, fmt.Errorf("fabric: no global link up from group %d to %d", via, g2)
 	}
-	path := make([]int, 0, 8)
-	path = append(path, f.injectLink[src])
+	path := append(buf, f.injectLink[src])
 	sa, sm1 := f.Links[gl1].From, f.Links[gl1].To
 	sm2, sb := f.Links[gl2].From, f.Links[gl2].To
 	if sa != s1 {

@@ -1,9 +1,10 @@
 package fabric
 
 import (
-	"math/rand"
 	"sync"
 	"sync/atomic"
+
+	"frontiersim/internal/rng"
 )
 
 // PathCache memoises adaptive-routing path sets keyed by (src, dst,
@@ -47,21 +48,10 @@ func NewPathCache(f *Fabric, nValiant int, seed int64) *PathCache {
 	}
 }
 
-// mix64 is the SplitMix64 finalizer, used to fold the cache key into an
-// independent rng seed per (src, dst, epoch).
-func mix64(x uint64) uint64 {
-	x += 0x9E3779B97F4A7C15
-	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
-	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
-	return x ^ (x >> 31)
-}
-
-// pairSeed derives the rng seed for one cache entry.
+// pairSeed derives the rng seed for one cache entry: a pure function of
+// (cache seed, src, dst, epoch) via the SplitMix64 avalanche chain.
 func (c *PathCache) pairSeed(src, dst int, epoch uint64) int64 {
-	h := mix64(uint64(c.seed))
-	h = mix64(h ^ key(src, dst))
-	h = mix64(h ^ epoch)
-	return int64(h)
+	return rng.DeriveN(c.seed, key(src, dst), epoch)
 }
 
 // Paths returns the adaptive-routing path set for one endpoint pair,
@@ -80,8 +70,8 @@ func (c *PathCache) Paths(src, dst int) (PathSet, error) {
 	}
 	c.mu.RUnlock()
 
-	rng := rand.New(rand.NewSource(c.pairSeed(src, dst, epoch)))
-	ps, err := c.f.AdaptivePaths(src, dst, c.nValiant, rng)
+	r := rng.New(c.pairSeed(src, dst, epoch))
+	ps, err := c.f.AdaptivePaths(src, dst, c.nValiant, r)
 	if err != nil {
 		return ps, err
 	}
@@ -96,6 +86,18 @@ func (c *PathCache) Paths(src, dst int) (PathSet, error) {
 	c.mu.Unlock()
 	c.misses.Add(1)
 	return ps, nil
+}
+
+// Invalidate drops every cached entry, forcing the next Paths call for
+// each pair to recompute its set. Link-state transitions invalidate the
+// cache automatically via StateEpoch; this is for tests and benchmarks
+// that need a cold cache without touching hardware state. Because each
+// entry is a pure function of (seed, src, dst, epoch), refilled entries
+// are identical to the dropped ones.
+func (c *PathCache) Invalidate() {
+	c.mu.Lock()
+	c.sets = make(map[uint64]PathSet)
+	c.mu.Unlock()
 }
 
 // Stats reports cache hits and misses since construction.

@@ -41,7 +41,7 @@ func (f *Fabric) BuildRoutingTable(sw int) RoutingTable {
 			continue
 		}
 		var direct, viaPeer []int
-		for _, id := range f.globalPair[key(g, dst)] {
+		for _, id := range f.GlobalLinks(g, dst) {
 			if !f.linkUp(id) {
 				continue
 			}

@@ -1,25 +1,19 @@
 package harness
 
-import "hash/fnv"
+import "frontiersim/internal/rng"
 
 // splitmix64 is the SplitMix64 finalizer (Steele, Lea & Flood 2014): a
 // bijective avalanche over 64 bits. It turns structured inputs (small
 // root seeds, similar experiment ids) into statistically independent
-// streams, which is what makes per-task seed derivation safe.
-func splitmix64(x uint64) uint64 {
-	x += 0x9E3779B97F4A7C15
-	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
-	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
-	return x ^ (x >> 31)
-}
+// streams, which is what makes per-task seed derivation safe. The
+// implementation lives in internal/rng, shared with every stream-
+// derivation site in the simulator.
+func splitmix64(x uint64) uint64 { return rng.Mix64(x) }
 
 // DeriveSeed maps a root seed and a task id to the task's private seed.
 // The derivation depends only on (root, id) — never on worker count or
 // scheduling order — so a parallel run and a serial run of the same task
 // set are byte-identical, and adding or removing tasks does not disturb
-// the seeds of the others.
-func DeriveSeed(root int64, id string) int64 {
-	h := fnv.New64a()
-	h.Write([]byte(id))
-	return int64(splitmix64(uint64(root) ^ h.Sum64()))
-}
+// the seeds of the others. It is rng.Derive: FNV-1a over the id folded
+// into the root, then one SplitMix64 avalanche.
+func DeriveSeed(root int64, id string) int64 { return rng.Derive(root, id) }

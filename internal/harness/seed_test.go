@@ -1,6 +1,10 @@
 package harness
 
-import "testing"
+import (
+	"testing"
+
+	"frontiersim/internal/rng"
+)
 
 func TestDeriveSeedStable(t *testing.T) {
 	// Pin a few values: these must never change, or recorded experiment
@@ -49,5 +53,29 @@ func TestSplitmix64KnownVectors(t *testing.T) {
 	}
 	if got := splitmix64(1); got != 0x910A2DEC89025CC1 {
 		t.Errorf("splitmix64(1) = %#x", got)
+	}
+}
+
+// Golden pin for the per-task stream kind: the exact seed DeriveSeed
+// mints for a representative (root, task id) pair and the first eight
+// draws of the stream built from it. The parallel mpiGraph census and
+// every harness.Run task depend on these bytes; a change here
+// regenerates all archived parallel-run output.
+func TestDeriveSeedGoldenStream(t *testing.T) {
+	const want = int64(-1975129890762566520)
+	seed := DeriveSeed(1, "shift-0")
+	if seed != want {
+		t.Fatalf("DeriveSeed(1, %q) = %d, want %d", "shift-0", seed, want)
+	}
+	wantDraws := []int64{
+		5544761946064857892, 7774142375774094946, 4695053013839927019,
+		6224281827607522564, 6802127634966381766, 2731662979664408826,
+		100731775826796461, 3440786779877549178,
+	}
+	r := rng.New(seed)
+	for i, w := range wantDraws {
+		if got := r.Int63(); got != w {
+			t.Errorf("task stream draw %d = %d, want %d", i, got, w)
+		}
 	}
 }

@@ -3,10 +3,10 @@ package network
 import (
 	"context"
 	"fmt"
-	"math/rand"
 
 	"frontiersim/internal/fabric"
 	"frontiersim/internal/harness"
+	"frontiersim/internal/rng"
 )
 
 // ParallelConfig tunes parallel evaluation of independent solves.
@@ -36,7 +36,7 @@ func RunMpiGraphParallel(ctx context.Context, f *fabric.Fabric, cfg MpiGraphConf
 	if err != nil {
 		return MpiGraphResult{}, err
 	}
-	order := sampleShifts(nodes, shifts, rand.New(rand.NewSource(pcfg.Seed)))
+	order := sampleShifts(nodes, shifts, rng.New(pcfg.Seed))
 	cache := fabric.NewPathCache(f, cfg.ValiantPaths, harness.DeriveSeed(pcfg.Seed, "mpigraph-paths"))
 
 	tasks := make([]harness.Task[[]float64], len(order))
@@ -55,10 +55,10 @@ func RunMpiGraphParallel(ctx context.Context, f *fabric.Fabric, cfg MpiGraphConf
 				if err := Solve(f, demands); err != nil {
 					return nil, err
 				}
-				rng := rand.New(rand.NewSource(seed))
+				r := rng.New(seed)
 				samples := make([]float64, 0, len(demands))
 				for _, d := range demands {
-					v := d.Rate * (1 + cfg.MeasureJitter*rng.NormFloat64())
+					v := d.Rate * (1 + cfg.MeasureJitter*r.NormFloat64())
 					if v < 0 {
 						v = 0
 					}
@@ -92,7 +92,7 @@ func RunGPCNeTTrials(ctx context.Context, f *fabric.Fabric, cfg GPCNeTConfig, tr
 		tasks[i] = harness.Task[GPCNeTResult]{
 			ID: fmt.Sprintf("trial-%d", i),
 			Run: func(_ context.Context, seed int64) (GPCNeTResult, error) {
-				return RunGPCNeT(f, cfg, rand.New(rand.NewSource(seed)))
+				return RunGPCNeT(f, cfg, rng.New(seed))
 			},
 		}
 	}

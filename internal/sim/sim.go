@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"frontiersim/internal/rng"
 	"frontiersim/internal/units"
 )
 
@@ -25,6 +26,7 @@ type Kernel struct {
 	now     Time
 	queue   eventHeap
 	seq     uint64
+	seed    int64
 	rng     *rand.Rand
 	stopped bool
 
@@ -35,7 +37,7 @@ type Kernel struct {
 
 // NewKernel returns a kernel whose random streams derive from seed.
 func NewKernel(seed int64) *Kernel {
-	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+	return &Kernel{seed: seed, rng: rng.New(seed)}
 }
 
 // Now returns the current virtual time.
@@ -48,18 +50,13 @@ func (k *Kernel) Executed() uint64 { return k.executed }
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
 // Stream derives an independent, reproducible random stream for a named
-// model component. Distinct names give distinct streams; the same name gives
-// the same stream content for a fixed kernel seed.
+// model component. Distinct names give distinct streams; the same name
+// gives the same stream content for a fixed kernel seed. The derivation
+// is a pure function of (kernel seed, name) — it never draws from the
+// kernel's root stream — so the stream a component receives does not
+// depend on how many Stream calls (or root-stream draws) preceded it.
 func (k *Kernel) Stream(name string) *rand.Rand {
-	h := uint64(1469598103934665603) // FNV-1a offset basis
-	for i := 0; i < len(name); i++ {
-		h ^= uint64(name[i])
-		h *= 1099511628211
-	}
-	// Mix with the kernel's seed-derived value so different kernels
-	// (seeds) get different streams for the same name.
-	h ^= uint64(k.rng.Int63())
-	return rand.New(rand.NewSource(int64(h)))
+	return rng.New(rng.Derive(k.seed, name))
 }
 
 // Event is a handle to a scheduled event; it can be cancelled.

@@ -9,7 +9,7 @@ package workload
 
 import (
 	"fmt"
-	"math/rand"
+	"frontiersim/internal/rng"
 
 	"frontiersim/internal/core"
 	"frontiersim/internal/resilience"
@@ -101,7 +101,7 @@ func Run(sys *core.System, cfg Config, seed int64) (Stats, error) {
 		totalWeight += c.Weight
 	}
 	total := sys.Fabric.Cfg.ComputeNodes()
-	rng := rand.New(rand.NewSource(seed))
+	rng := rng.New(seed)
 	stats := Stats{ByClass: map[string]int{}}
 
 	var usedNodeSeconds float64
