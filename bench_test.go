@@ -18,6 +18,7 @@ import (
 	"frontiersim/internal/experiments"
 	"frontiersim/internal/fabric"
 	"frontiersim/internal/gpu"
+	"frontiersim/internal/machine"
 	"frontiersim/internal/memory"
 	"frontiersim/internal/network"
 	"frontiersim/internal/report"
@@ -79,7 +80,10 @@ func BenchmarkAblationCheckpoint(b *testing.B) { benchExperiment(b, "ablation-ch
 // Micro-benchmarks of the simulator's hot paths.
 
 func BenchmarkDragonflyBuild(b *testing.B) {
-	cfg := fabric.FrontierConfig()
+	cfg, err := machine.Frontier().FabricConfig()
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < b.N; i++ {
 		if _, err := fabric.NewDragonfly(cfg); err != nil {
 			b.Fatal(err)
@@ -88,7 +92,7 @@ func BenchmarkDragonflyBuild(b *testing.B) {
 }
 
 func BenchmarkMinimalRoute(b *testing.B) {
-	f, err := fabric.NewDragonfly(fabric.FrontierConfig())
+	f, err := machine.Frontier().NewFabric()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -107,7 +111,7 @@ func BenchmarkMinimalRoute(b *testing.B) {
 }
 
 func BenchmarkMaxMinSolve(b *testing.B) {
-	f, err := fabric.NewDragonfly(fabric.ScaledConfig(16, 16, 8))
+	f, err := machine.Scaled(16, 16, 8).NewFabric()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -141,7 +145,7 @@ func BenchmarkMaxMinSolve(b *testing.B) {
 // arena warm this is allocation-free (ns/solve and allocs/solve are the
 // metrics the BENCH trajectory tracks for the water-filling core).
 func BenchmarkSolverArenaReuse(b *testing.B) {
-	f, err := fabric.NewDragonfly(fabric.ScaledConfig(16, 16, 8))
+	f, err := machine.Scaled(16, 16, 8).NewFabric()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -173,7 +177,7 @@ func BenchmarkSolverArenaReuse(b *testing.B) {
 // BenchmarkAdaptivePathsCached measures route lookup through the
 // epoch-cached path sets that back the parallel mpiGraph census.
 func BenchmarkAdaptivePathsCached(b *testing.B) {
-	f, err := fabric.NewDragonfly(fabric.ScaledConfig(16, 16, 8))
+	f, err := machine.Scaled(16, 16, 8).NewFabric()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -216,7 +220,7 @@ func BenchmarkStreamDerivation(b *testing.B) {
 // iteration (a fresh cache per pass over the endpoints); the warm case
 // is the steady-state cache hit.
 func BenchmarkPathCacheFill(b *testing.B) {
-	f, err := fabric.NewDragonfly(fabric.ScaledConfig(16, 16, 8))
+	f, err := machine.Scaled(16, 16, 8).NewFabric()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -263,7 +267,7 @@ func BenchmarkFig6FullScale(b *testing.B) {
 	if testing.Short() {
 		b.Skip("full-scale census in -short mode")
 	}
-	f, err := fabric.NewDragonfly(fabric.FrontierConfig())
+	f, err := machine.Frontier().NewFabric()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -290,7 +294,7 @@ func BenchmarkExtSysmgmt(b *testing.B)     { benchExperiment(b, "ext-sysmgmt") }
 func BenchmarkExtOperations(b *testing.B)  { benchExperiment(b, "ext-operations") }
 
 func BenchmarkRoutingTableBuild(b *testing.B) {
-	f, err := fabric.NewDragonfly(fabric.FrontierConfig())
+	f, err := machine.Frontier().NewFabric()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -303,7 +307,7 @@ func BenchmarkRoutingTableBuild(b *testing.B) {
 }
 
 func BenchmarkTransportMessage(b *testing.B) {
-	f, err := fabric.NewDragonfly(fabric.ScaledConfig(6, 8, 4))
+	f, err := machine.Scaled(6, 8, 4).NewFabric()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -319,7 +323,7 @@ func BenchmarkTransportMessage(b *testing.B) {
 }
 
 func BenchmarkSchedulerCycle(b *testing.B) {
-	f, err := fabric.NewDragonfly(fabric.FrontierConfig())
+	f, err := machine.Frontier().NewFabric()
 	if err != nil {
 		b.Fatal(err)
 	}

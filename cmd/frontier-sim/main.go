@@ -10,11 +10,14 @@
 // Usage:
 //
 //	frontier-sim list                 # show all experiment ids
+//	frontier-sim machines             # list built-in machine specs
 //	frontier-sim run <id> [...]       # run one or more experiments
 //	frontier-sim run all              # run everything, in paper order
 //	frontier-sim -markdown run all    # emit markdown (EXPERIMENTS.md body)
 //	frontier-sim -quick run all       # reduced sampling for smoke tests
 //	frontier-sim -jobs=1 run all      # serial (same output as -jobs=8)
+//	frontier-sim -machine spec.json run fig6   # what-if machine under test
+//	frontier-sim -dump-spec frontier  # emit a built-in spec as JSON
 //	frontier-sim verify               # check reproduction envelopes
 package main
 
@@ -29,6 +32,7 @@ import (
 
 	"frontiersim/internal/experiments"
 	"frontiersim/internal/harness"
+	"frontiersim/internal/machine"
 	"frontiersim/internal/profiling"
 )
 
@@ -45,8 +49,25 @@ func run() int {
 	keepGoing := flag.Bool("keepgoing", false, "run every experiment even after a failure")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	machineArg := flag.String("machine", "", "machine under test: a built-in name or a JSON spec file (default: frontier)")
+	dumpSpec := flag.String("dump-spec", "", "print a machine spec as JSON and exit (a built-in name or a spec file)")
 	flag.Usage = usage
 	flag.Parse()
+
+	if *dumpSpec != "" {
+		spec, err := machine.Resolve(*dumpSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "frontier-sim:", err)
+			return 1
+		}
+		b, err := machine.Dump(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "frontier-sim:", err)
+			return 1
+		}
+		os.Stdout.Write(b)
+		return 0
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -65,6 +86,14 @@ func run() int {
 	defer stop()
 
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	if *machineArg != "" {
+		spec, err := machine.Resolve(*machineArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "frontier-sim:", err)
+			return 1
+		}
+		opts.Machine = &spec
+	}
 	cfg := experiments.RunConfig{Jobs: *jobs, Timeout: *timeout, FailFast: !*keepGoing}
 
 	switch args[0] {
@@ -91,6 +120,15 @@ func run() int {
 	case "list":
 		for _, r := range experiments.Registry() {
 			fmt.Printf("%-20s %s\n", r.ID, r.Description)
+		}
+	case "machines":
+		for _, name := range machine.Names() {
+			s, err := machine.ByName(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "frontier-sim:", err)
+				return 1
+			}
+			fmt.Printf("%-10s %d  %6d nodes  %s\n", s.Name, s.Year, s.Nodes(), s.Topology.FabricName)
 		}
 	case "run":
 		if len(args) < 2 {
@@ -158,8 +196,10 @@ func usage() {
 
 usage:
   frontier-sim [flags] list
+  frontier-sim [flags] machines
   frontier-sim [flags] run <id>... | all
   frontier-sim [flags] verify
+  frontier-sim -dump-spec <name|file.json>
 
 flags:
 `)

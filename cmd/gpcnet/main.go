@@ -19,7 +19,7 @@ import (
 	"fmt"
 	"os"
 
-	"frontiersim/internal/fabric"
+	"frontiersim/internal/machine"
 	"frontiersim/internal/network"
 	"frontiersim/internal/profiling"
 	"frontiersim/internal/rng"
@@ -45,7 +45,7 @@ func run() int {
 	}
 	defer stopProf()
 
-	f, err := fabric.NewDragonfly(fabric.FrontierConfig())
+	f, err := machine.Frontier().NewFabric()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpcnet:", err)
 		return 1

@@ -1,0 +1,123 @@
+// Command machinelint enforces the single-source-of-truth rule for
+// machine parameters: distinctive machine constants (node counts,
+// endpoint totals) may appear only in internal/machine. Subsystem
+// packages must derive them from a machine.Spec.
+//
+// Lines that cite a paper-published figure (expected values in
+// verification tables, Table 6 campaign sizes) may carry a
+// "//machinelint:allow <reason>" annotation to opt out.
+//
+// Run with: go run ./cmd/machinelint [dir ...]
+// Exits non-zero if any unannotated occurrence is found.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// forbidden matches machine-defining integers distinctive enough not to
+// collide with ordinary code: per-system node counts and the Frontier
+// endpoint/NIC totals. Peak-TF and HBM figures are left out on purpose —
+// the same numbers legitimately appear as paper-measured results.
+var forbidden = regexp.MustCompile(`\b(9472|4608|18688|49152|4392|9688|9720|4736|18944|37888|75776|303104)\b`)
+
+const allowMarker = "machinelint:allow"
+
+// skipDirs are exempt from the scan: internal/machine is the one place
+// the constants belong, and this tool needs its own pattern list.
+var skipDirs = map[string]bool{
+	filepath.Join("internal", "machine"): true,
+	filepath.Join("cmd", "machinelint"):  true,
+}
+
+type finding struct {
+	file  string
+	line  int
+	token string
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s:%d: hard-coded machine constant %s (derive it from internal/machine, or annotate with //%s <reason>)",
+		f.file, f.line, f.token, allowMarker)
+}
+
+// scan walks root and reports every unannotated forbidden constant in
+// non-test Go source files.
+func scan(root string) ([]finding, error) {
+	var out []finding
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			rel = path
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" || d.Name() == ".git" || skipDirs[rel] {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fnd, serr := scanFile(path)
+		if serr != nil {
+			return serr
+		}
+		out = append(out, fnd...)
+		return nil
+	})
+	return out, err
+}
+
+func scanFile(path string) ([]finding, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var out []finding
+	sc := bufio.NewScanner(f)
+	for n := 1; sc.Scan(); n++ {
+		line := sc.Text()
+		if strings.Contains(line, allowMarker) {
+			continue
+		}
+		for _, tok := range forbidden.FindAllString(line, -1) {
+			out = append(out, finding{file: path, line: n, token: tok})
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	bad := false
+	for _, root := range roots {
+		findings, err := scan(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "machinelint:", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			bad = true
+			fmt.Println(f)
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Println("machinelint: no stray machine constants")
+}

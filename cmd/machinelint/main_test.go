@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanFlagsStrayConstants(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "internal", "foo", "foo.go"),
+		"package foo\n\nconst nodes = 9472 // bad\n")
+	findings, err := scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly one", findings)
+	}
+	if findings[0].token != "9472" || findings[0].line != 3 {
+		t.Errorf("finding = %+v, want token 9472 at line 3", findings[0])
+	}
+}
+
+func TestScanSkipsExemptLocations(t *testing.T) {
+	dir := t.TempDir()
+	// The one legitimate home for machine constants.
+	write(t, filepath.Join(dir, "internal", "machine", "specs.go"),
+		"package machine\n\nconst frontierNodes = 9472\n")
+	// Tests may pin literal fixtures.
+	write(t, filepath.Join(dir, "internal", "foo", "foo_test.go"),
+		"package foo\n\nconst nodes = 9472\n")
+	// Annotated paper citations are allowed.
+	write(t, filepath.Join(dir, "internal", "bar", "bar.go"),
+		"package bar\n\nconst summit = 4608 //machinelint:allow Table 6 baseline\n")
+	// Non-Go files are ignored.
+	write(t, filepath.Join(dir, "notes.md"), "Frontier has 9472 nodes\n")
+	findings, err := scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("findings = %v, want none", findings)
+	}
+}
+
+func TestScanRepo(t *testing.T) {
+	// The live repo must be clean — this is the same invocation CI runs.
+	findings, err := scan("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"frontiersim/internal/fabric"
+	"frontiersim/internal/machine"
 	"frontiersim/internal/network"
 	"frontiersim/internal/profiling"
 )
@@ -48,9 +49,9 @@ func run() int {
 	cfg := network.DefaultMpiGraphConfig()
 	switch *fab {
 	case "frontier":
-		f, err = fabric.NewDragonfly(fabric.FrontierConfig())
+		f, err = machine.Frontier().NewFabric()
 	case "summit":
-		f, err = fabric.NewClos(fabric.SummitClosConfig())
+		f, err = machine.Summit().NewFabric()
 		cfg.RanksPerNode = 1
 	default:
 		fmt.Fprintf(os.Stderr, "mpigraph: unknown fabric %q\n", *fab)

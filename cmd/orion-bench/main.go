@@ -10,17 +10,23 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 
+	"frontiersim/internal/machine"
 	"frontiersim/internal/storage"
 	"frontiersim/internal/units"
 )
 
 func main() {
-	nodes := flag.Int("nodes", 9472, "job node count for aggregates")
+	m := machine.Frontier()
+	nodes := flag.Int("nodes", m.Nodes(), "job node count for aggregates")
 	burstTiB := flag.Float64("burst", 700, "checkpoint burst size in TiB")
 	flag.Parse()
 
-	nl := storage.NewNodeLocalStore()
+	nl, err := m.NodeLocal()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("== node-local NVMe (per node, fio) ==")
 	for _, p := range []storage.FioPattern{storage.FioSeqRead, storage.FioSeqWrite, storage.FioRandRead4k} {
 		r := nl.RunFio(p, 100*units.GB)
@@ -35,7 +41,10 @@ func main() {
 	fmt.Printf("capacity %s  read %s  write %s  IOPS %.1fB\n\n",
 		agg.Capacity, agg.Read, agg.Write, agg.IOPS/1e9)
 
-	o := storage.NewOrion()
+	o, err := m.Orion()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("== Orion Lustre ==")
 	fmt.Println(o)
 	fmt.Printf("%-22s %12s %12s\n", "file size", "read", "write")

@@ -10,8 +10,8 @@ import (
 	"log"
 
 	"frontiersim/internal/apps"
+	"frontiersim/internal/machine"
 	"frontiersim/internal/resilience"
-	"frontiersim/internal/storage"
 	"frontiersim/internal/units"
 )
 
@@ -21,7 +21,14 @@ func main() {
 	fmt.Println("HACC force-kernel throughput across machine generations:")
 	fmt.Printf("%-10s %6s %10s %16s %10s\n", "machine", "year", "nodes", "FOM", "vs Titan")
 	var titanFOM float64
-	platforms := []*apps.Platform{apps.Titan(), apps.Mira(), apps.Theta(), apps.Summit(), apps.Frontier()}
+	var platforms []*apps.Platform
+	for _, name := range []string{"titan", "mira", "theta", "summit", "frontier"} {
+		p, err := machine.PlatformByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		platforms = append(platforms, p)
+	}
 	for _, p := range platforms {
 		r, err := hacc.Run(p, p.Nodes)
 		if err != nil {
@@ -33,7 +40,7 @@ func main() {
 		fmt.Printf("%-10s %6d %10d %16.4g %9.1fx\n", p.Name, p.Year, r.Nodes, r.FOM, r.FOM/titanFOM)
 	}
 
-	s, _, _, err := apps.Speedup(hacc)
+	s, _, _, err := apps.Speedup(hacc, machine.PlatformByName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,9 +50,16 @@ func main() {
 	// HBM in mutable state; Orion absorbs it at the capacity tier rate.
 	fmt.Println("\ncheckpoint plan for a 24 h full-machine run:")
 	state := 0.15 * 4.6 * float64(units.PiB)
-	orion := storage.NewOrion()
+	frontier := machine.Frontier()
+	orion, err := frontier.Orion()
+	if err != nil {
+		log.Fatal(err)
+	}
 	writeTime := orion.IngestTime(units.Bytes(state))
-	rel := resilience.Frontier()
+	rel, err := frontier.ResilienceModel()
+	if err != nil {
+		log.Fatal(err)
+	}
 	mtti := rel.SystemMTTI()
 	tau := resilience.OptimalCheckpointInterval(writeTime, mtti)
 	eff := resilience.CheckpointEfficiency(tau, writeTime, 10*units.Minute, mtti)

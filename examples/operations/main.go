@@ -12,8 +12,8 @@ import (
 	"log"
 
 	"frontiersim/internal/core"
+	"frontiersim/internal/machine"
 	"frontiersim/internal/resilience"
-	"frontiersim/internal/storage"
 	"frontiersim/internal/units"
 	"frontiersim/internal/workload"
 )
@@ -42,7 +42,10 @@ func main() {
 	// Checkpoint strategy for the hero jobs: absorb into the node-local
 	// burst buffer, drain to Orion behind the computation.
 	fmt.Println("\nhero-job checkpoint strategy:")
-	bb := storage.NewBurstBuffer(9472)
+	bb, err := machine.Frontier().BurstBuffer(0)
+	if err != nil {
+		log.Fatal(err)
+	}
 	state := units.Bytes(0.15 * 4.6 * float64(units.PiB))
 	absorb, drain, err := bb.CheckpointWrite(state)
 	if err != nil {

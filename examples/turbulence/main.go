@@ -12,28 +12,33 @@ import (
 	"log"
 
 	"frontiersim/internal/apps"
+	"frontiersim/internal/machine"
 )
 
 func main() {
 	gests := apps.NewGESTS()
-	frontier := apps.Frontier()
+	frontier, err := machine.PlatformByName("frontier")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("GESTS pseudo-spectral DNS on Frontier (N = 32768^3):")
 	fmt.Printf("%8s %14s %16s %12s\n", "nodes", "step time", "FOM (pts/s)", "a2a/node")
+	full := frontier.Nodes
 	var base float64
-	for _, nodes := range []int{1184, 2368, 4736, 9472} {
+	for _, nodes := range []int{full / 8, full / 4, full / 2, full} {
 		r, err := gests.Run(frontier, nodes)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if base == 0 {
-			base = r.FOM * float64(9472) / float64(nodes) // ideal scaling reference
+			base = r.FOM * float64(full) / float64(nodes) // ideal scaling reference
 		}
 		fmt.Printf("%8d %14v %16.4g %12s\n", nodes, r.StepTime, r.FOM, r.Notes)
 	}
 
 	fmt.Println("\npaper comparison (Table 6 row):")
-	s, fr, br, err := apps.Speedup(gests)
+	s, fr, br, err := apps.Speedup(gests, machine.PlatformByName)
 	if err != nil {
 		log.Fatal(err)
 	}

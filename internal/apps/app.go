@@ -46,13 +46,19 @@ type App interface {
 }
 
 // Speedup runs app on Frontier and on its baseline platform at the
-// paper's node counts and returns the figure-of-merit ratio.
-func Speedup(app App) (float64, Result, Result, error) {
-	baseline, err := ByName(app.BaselineName())
+// paper's node counts and returns the figure-of-merit ratio. Platforms
+// are obtained through resolve (normally the machine-spec layer's
+// PlatformByName), keyed by the names the paper uses.
+func Speedup(app App, resolve func(string) (*Platform, error)) (float64, Result, Result, error) {
+	frontier, err := resolve("frontier")
 	if err != nil {
 		return 0, Result{}, Result{}, err
 	}
-	fr, err := app.Run(Frontier(), app.FrontierNodes())
+	baseline, err := resolve(app.BaselineName())
+	if err != nil {
+		return 0, Result{}, Result{}, err
+	}
+	fr, err := app.Run(frontier, app.FrontierNodes())
 	if err != nil {
 		return 0, Result{}, Result{}, fmt.Errorf("apps: %s on frontier: %w", app.Name(), err)
 	}

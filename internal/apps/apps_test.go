@@ -18,7 +18,7 @@ func TestAllAppsSpeedups(t *testing.T) {
 		"WarpX": 0.05, "ExaSky": 0.05, "EXAALT": 0.05, "ExaSMR": 0.05, "WDMApp": 0.05,
 	}
 	for _, app := range AllApps() {
-		s, fr, br, err := Speedup(app)
+		s, fr, br, err := Speedup(app, ByName)
 		if err != nil {
 			t.Fatalf("%s: %v", app.Name(), err)
 		}
@@ -222,11 +222,11 @@ func TestRunOnOversizedNodeCountClamps(t *testing.T) {
 // The paper reports both GESTS decompositions beating the KPP: 1-D at
 // 5.87x and 2-D at 5.06x.
 func TestGESTSDecompositions(t *testing.T) {
-	oneD, _, _, err := Speedup(NewGESTS())
+	oneD, _, _, err := Speedup(NewGESTS(), ByName)
 	if err != nil {
 		t.Fatal(err)
 	}
-	twoD, _, _, err := Speedup(NewGESTS2D())
+	twoD, _, _, err := Speedup(NewGESTS2D(), ByName)
 	if err != nil {
 		t.Fatal(err)
 	}

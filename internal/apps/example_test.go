@@ -4,11 +4,12 @@ import (
 	"fmt"
 
 	"frontiersim/internal/apps"
+	"frontiersim/internal/machine"
 )
 
 // Reproduce one Table 6 row: Cholla's 20x over Summit.
 func ExampleSpeedup() {
-	s, frontier, summit, err := apps.Speedup(apps.NewCholla())
+	s, frontier, summit, err := apps.Speedup(apps.NewCholla(), machine.PlatformByName)
 	if err != nil {
 		panic(err)
 	}

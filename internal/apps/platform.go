@@ -46,9 +46,22 @@ type Platform struct {
 	fabErr    error
 }
 
+// SetFabricBuilder installs the function that constructs the platform's
+// network on first use. The machine-spec layer calls this with the
+// spec's topology; Fabric caches the result.
+func (p *Platform) SetFabricBuilder(build func() (*fabric.Fabric, error)) {
+	p.newFabric = build
+}
+
 // Fabric lazily builds and caches the platform's network.
 func (p *Platform) Fabric() (*fabric.Fabric, error) {
-	p.fabOnce.Do(func() { p.fab, p.fabErr = p.newFabric() })
+	p.fabOnce.Do(func() {
+		if p.newFabric == nil {
+			p.fabErr = fmt.Errorf("apps: platform %s has no fabric builder", p.Name)
+			return
+		}
+		p.fab, p.fabErr = p.newFabric()
+	})
 	return p.fab, p.fabErr
 }
 
@@ -76,148 +89,4 @@ func (p *Platform) Devices(n int) float64 { return float64(n * p.DevicesPerNode)
 // NodeMemBW is the per-node aggregate achieved memory bandwidth.
 func (p *Platform) NodeMemBW() units.BytesPerSecond {
 	return p.MemBW * units.BytesPerSecond(p.DevicesPerNode)
-}
-
-// clos is a helper for baseline fabrics.
-func clos(name string, leaves, perLeaf, nicsPerNode int, rate units.BytesPerSecond, eff float64) func() (*fabric.Fabric, error) {
-	return func() (*fabric.Fabric, error) {
-		return fabric.NewClos(fabric.ClosConfig{
-			Name:               name,
-			Leaves:             leaves,
-			EndpointsPerLeaf:   perLeaf,
-			NICsPerNode:        nicsPerNode,
-			LinkRate:           rate,
-			EndpointEfficiency: eff,
-			SwitchLatency:      400 * units.Nanosecond,
-			EndpointLatency:    1200 * units.Nanosecond,
-		})
-	}
-}
-
-// Frontier returns the target platform: achieved per-GCD rates from the
-// paper's own micro-benchmarks (Fig. 3 GEMM, Table 4 STREAM).
-func Frontier() *Platform {
-	return &Platform{
-		Name:           "frontier",
-		Year:           2022,
-		Nodes:          9472,
-		DevicesPerNode: 8,
-		FP64Dense:      33.8 * units.TeraFlops,
-		FP32Dense:      24.1 * units.TeraFlops,
-		FP16Dense:      111.2 * units.TeraFlops,
-		MemBW:          1337 * units.GBps,
-		MemCap:         64 * units.GiB,
-		GPUDirect:      true,
-		newFabric:      func() (*fabric.Fabric, error) { return fabric.NewDragonfly(fabric.FrontierConfig()) },
-	}
-}
-
-// Summit is the CAAR baseline: 4,608 nodes of 6 V100s on dual-rail EDR.
-// The 2019-era software stack staged large GPU messages through the host
-// at ~10.5 GB/s per node (the GESTS baseline's asynchronous pipeline).
-func Summit() *Platform {
-	return &Platform{
-		Name:           "summit",
-		Year:           2018,
-		Nodes:          4608,
-		DevicesPerNode: 6,
-		FP64Dense:      6.7 * units.TeraFlops,  // 86% of V100's 7.8 peak
-		FP32Dense:      13.5 * units.TeraFlops, // 86% of 15.7
-		FP16Dense:      95 * units.TeraFlops,   // achieved tensor-core GEMM
-		MemBW:          790 * units.GBps,       // of 900 peak
-		MemCap:         16 * units.GiB,
-		GPUDirect:      false,
-		HostStagingBW:  10.5 * units.GBps,
-		newFabric:      func() (*fabric.Fabric, error) { return fabric.NewClos(fabric.SummitClosConfig()) },
-	}
-}
-
-// Titan: 18,688 nodes, one K20X each, Gemini torus (ExaSMR/WDMApp
-// baseline).
-func Titan() *Platform {
-	return &Platform{
-		Name:           "titan",
-		Year:           2012,
-		Nodes:          18688,
-		DevicesPerNode: 1,
-		FP64Dense:      1.1 * units.TeraFlops,
-		FP32Dense:      2.9 * units.TeraFlops,
-		FP16Dense:      2.9 * units.TeraFlops, // no reduced-precision units
-		MemBW:          180 * units.GBps,
-		MemCap:         6 * units.GiB,
-		GPUDirect:      false,
-		HostStagingBW:  5 * units.GBps,
-		newFabric:      clos("titan-gemini", 584, 32, 1, 8*units.GBps, 0.55),
-	}
-}
-
-// Mira: 49,152 BG/Q nodes (EXAALT baseline). The "device" is the node.
-func Mira() *Platform {
-	return &Platform{
-		Name:           "mira",
-		Year:           2012,
-		Nodes:          49152,
-		DevicesPerNode: 1,
-		FP64Dense:      0.17 * units.TeraFlops, // of 204.8 GF peak
-		FP32Dense:      0.17 * units.TeraFlops,
-		FP16Dense:      0.17 * units.TeraFlops,
-		MemBW:          28 * units.GBps,
-		MemCap:         16 * units.GiB,
-		GPUDirect:      true, // no accelerator: no staging penalty
-		newFabric:      clos("mira-5dtorus", 1024, 48, 1, 10*units.GBps, 0.6),
-	}
-}
-
-// Theta: 4,392 KNL nodes (ExaSky baseline). HACC's compute kernels
-// achieved a famously low fraction of KNL peak next to its GPU ports.
-func Theta() *Platform {
-	return &Platform{
-		Name:           "theta",
-		Year:           2017,
-		Nodes:          4392,
-		DevicesPerNode: 1,
-		FP64Dense:      1.6 * units.TeraFlops,
-		FP32Dense:      2.2 * units.TeraFlops,
-		FP16Dense:      2.2 * units.TeraFlops,
-		MemBW:          380 * units.GBps, // MCDRAM achieved
-		MemCap:         16 * units.GiB,
-		GPUDirect:      true,
-		newFabric:      clos("theta-aries", 122, 36, 1, 10*units.GBps, 0.8),
-	}
-}
-
-// Cori: 9,688 KNL nodes (WarpX baseline).
-func Cori() *Platform {
-	return &Platform{
-		Name:           "cori",
-		Year:           2016,
-		Nodes:          9688,
-		DevicesPerNode: 1,
-		FP64Dense:      1.7 * units.TeraFlops,
-		FP32Dense:      2.4 * units.TeraFlops,
-		FP16Dense:      2.4 * units.TeraFlops,
-		MemBW:          390 * units.GBps,
-		MemCap:         16 * units.GiB,
-		GPUDirect:      true,
-		newFabric:      clos("cori-aries", 270, 36, 1, 10*units.GBps, 0.8),
-	}
-}
-
-// ByName resolves a platform by its name.
-func ByName(name string) (*Platform, error) {
-	switch name {
-	case "frontier":
-		return Frontier(), nil
-	case "summit":
-		return Summit(), nil
-	case "titan":
-		return Titan(), nil
-	case "mira":
-		return Mira(), nil
-	case "theta":
-		return Theta(), nil
-	case "cori":
-		return Cori(), nil
-	}
-	return nil, fmt.Errorf("apps: unknown platform %q", name)
 }

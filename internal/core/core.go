@@ -2,7 +2,8 @@
 // full Frontier system (nodes, Slingshot fabric, scheduler, fabric
 // manager, Orion and node-local storage, power and reliability models)
 // plus the Summit comparison system, and derives the aggregate
-// specifications of the paper's Table 1.
+// specifications of the paper's Table 1. Machine parameters come from
+// the declarative specs in internal/machine; core only assembles.
 package core
 
 import (
@@ -11,6 +12,7 @@ import (
 	"frontiersim/internal/fabric"
 	"frontiersim/internal/gpu"
 	"frontiersim/internal/hpl"
+	"frontiersim/internal/machine"
 	"frontiersim/internal/node"
 	"frontiersim/internal/power"
 	"frontiersim/internal/resilience"
@@ -45,74 +47,85 @@ type System struct {
 	HPLSpec hpl.MachineSpec
 }
 
-// NewFrontier builds the full 9,472-node Frontier system. The build is
-// cheap enough (tens of milliseconds) to use per experiment.
+// New composes a system from a machine spec. Subsystems the spec does
+// not describe (no power model, no storage plant, …) are left at their
+// zero values, matching the lower-fidelity treatment the paper gives
+// the comparison machines. The build is cheap enough (tens of
+// milliseconds at full scale) to use per experiment.
+func New(spec machine.Spec, seed int64) (*System, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	k := sim.NewKernel(seed)
+	f, err := spec.NewFabric()
+	if err != nil {
+		return nil, fmt.Errorf("core: building fabric: %w", err)
+	}
+	s := &System{
+		Name:   spec.Name,
+		Kernel: k,
+		Fabric: f,
+	}
+	if spec.Node.BardPeak {
+		s.Node = node.New(0)
+		s.Scheduler = scheduler.New(k, f)
+		s.FabricManager = fabric.NewManager(f, 30)
+	}
+	if spec.Storage != nil {
+		if s.NodeLocal, err = spec.NodeLocal(); err != nil {
+			return nil, fmt.Errorf("core: building node-local storage: %w", err)
+		}
+		if spec.Storage.Orion != nil {
+			if s.Orion, err = spec.Orion(); err != nil {
+				return nil, fmt.Errorf("core: building orion: %w", err)
+			}
+		}
+	}
+	if spec.Power != nil {
+		if s.Power, err = spec.PowerMachine(); err != nil {
+			return nil, fmt.Errorf("core: building power model: %w", err)
+		}
+	}
+	if spec.Resilience != nil {
+		if s.Reliability, err = spec.ResilienceModel(); err != nil {
+			return nil, fmt.Errorf("core: building reliability model: %w", err)
+		}
+	}
+	if spec.HPL != nil {
+		if s.HPLSpec, err = spec.HPLSpec(); err != nil {
+			return nil, fmt.Errorf("core: building hpl spec: %w", err)
+		}
+	}
+	if spec.Mgmt != nil {
+		mgmtCfg, err := spec.MgmtConfig()
+		if err != nil {
+			return nil, fmt.Errorf("core: building management plane: %w", err)
+		}
+		hpcm, err := sysmgmt.New(k, mgmtCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: building management plane: %w", err)
+		}
+		s.HPCM = hpcm
+	}
+	return s, nil
+}
+
+// NewFrontier builds the full 9,472-node Frontier system.
 func NewFrontier(seed int64) (*System, error) {
-	return newFrontierWithConfig(fabric.FrontierConfig(), seed)
+	return New(machine.Frontier(), seed)
 }
 
 // NewScaledFrontier builds a structurally faithful small Frontier for
 // fast tests: groups × switchesPerGroup × endpointsPerSwitch.
 func NewScaledFrontier(groups, switchesPerGroup, endpointsPerSwitch int, seed int64) (*System, error) {
-	return newFrontierWithConfig(fabric.ScaledConfig(groups, switchesPerGroup, endpointsPerSwitch), seed)
-}
-
-func newFrontierWithConfig(cfg fabric.Config, seed int64) (*System, error) {
-	k := sim.NewKernel(seed)
-	f, err := fabric.NewDragonfly(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: building fabric: %w", err)
-	}
-	s := &System{
-		Name:          "frontier",
-		Kernel:        k,
-		Fabric:        f,
-		Node:          node.New(0),
-		Scheduler:     scheduler.New(k, f),
-		FabricManager: fabric.NewManager(f, 30),
-		Orion:         storage.NewOrion(),
-		NodeLocal:     storage.NewNodeLocalStore(),
-		Power:         power.Frontier(),
-		Reliability:   resilience.Frontier(),
-		HPLSpec:       hpl.FrontierSpec(),
-	}
-	s.HPLSpec.Nodes = cfg.ComputeNodes()
-	s.Power.Nodes = cfg.ComputeNodes()
-	mgmtCfg := sysmgmt.DefaultConfig()
-	mgmtCfg.ComputeNodes = cfg.ComputeNodes()
-	hpcm, err := sysmgmt.New(k, mgmtCfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: building management plane: %w", err)
-	}
-	s.HPCM = hpcm
-	return s, nil
+	return New(machine.Scaled(groups, switchesPerGroup, endpointsPerSwitch), seed)
 }
 
 // NewSummit builds the Summit comparison system: a Clos fabric of 4,608
 // nodes. Node-level detail beyond what the comparisons need (per-NIC
 // rates, fat-tree behaviour) is not modelled.
 func NewSummit(seed int64) (*System, error) {
-	k := sim.NewKernel(seed)
-	f, err := fabric.NewClos(fabric.SummitClosConfig())
-	if err != nil {
-		return nil, fmt.Errorf("core: building summit fabric: %w", err)
-	}
-	return &System{
-		Name:    "summit",
-		Kernel:  k,
-		Fabric:  f,
-		HPLSpec: summitHPLSpec(),
-	}, nil
-}
-
-func summitHPLSpec() hpl.MachineSpec {
-	return hpl.MachineSpec{
-		Nodes:             4608,
-		GCDsPerNode:       6,
-		VectorFP64PerGCD:  7.8 * units.TeraFlops,
-		HBMPerGCD:         900 * units.GBps,
-		HBMCapacityPerGCD: 16 * units.GiB,
-	}
+	return New(machine.Summit(), seed)
 }
 
 // ComputeSpecs are the aggregate figures of the paper's Table 1.

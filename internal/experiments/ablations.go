@@ -19,7 +19,10 @@ import (
 func AblationTaper(o Options) (*report.Table, error) {
 	t := &report.Table{ID: "ablation-taper", Title: "Global bundle size vs full-system all-to-all"}
 	for _, links := range []int{2, 4, 6} {
-		cfg := fabric.FrontierConfig()
+		cfg, err := o.machine().FabricConfig()
+		if err != nil {
+			return nil, err
+		}
 		cfg.ComputeComputeLinks = links
 		if err := cfg.Validate(); err != nil {
 			return nil, err
@@ -68,7 +71,7 @@ func AblationNPS(o Options) (*report.Table, error) {
 // Valiant) routing for a group-coherent shift permutation — the pattern
 // where non-minimal routing earns its keep.
 func AblationRouting(o Options) (*report.Table, error) {
-	f, err := fabric.NewDragonfly(fabric.FrontierConfig())
+	f, err := o.machine().NewFabric()
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +100,7 @@ func AblationRouting(o Options) (*report.Table, error) {
 // counterfactual that motivates Slingshot's headline feature (and the
 // behaviour the paper cites from Summit's EDR fabric [73]).
 func AblationCC(o Options) (*report.Table, error) {
-	f, err := fabric.NewDragonfly(fabric.FrontierConfig())
+	f, err := o.machine().NewFabric()
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +136,7 @@ func AblationCC(o Options) (*report.Table, error) {
 // placement maximises bandwidth for single-group jobs; spreading
 // maximises it for multi-group jobs.
 func AblationPlacement(o Options) (*report.Table, error) {
-	f, err := fabric.NewDragonfly(fabric.FrontierConfig())
+	f, err := o.machine().NewFabric()
 	if err != nil {
 		return nil, err
 	}
@@ -182,7 +185,10 @@ func AblationPlacement(o Options) (*report.Table, error) {
 // MTTI, showing Daly's optimum for a full-machine job writing ~700 TiB
 // bursts to Orion.
 func AblationCheckpoint(o Options) (*report.Table, error) {
-	m := resilience.Frontier()
+	m, err := o.machine().ResilienceModel()
+	if err != nil {
+		return nil, err
+	}
 	mtti := m.SystemMTTI()
 	const delta = 180 * units.Second // Orion burst (§4.3.2)
 	const restart = 600 * units.Second

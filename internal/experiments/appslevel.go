@@ -4,13 +4,14 @@ import (
 	"fmt"
 
 	"frontiersim/internal/apps"
+	"frontiersim/internal/machine"
 	"frontiersim/internal/report"
 )
 
 func appTable(id, title string, list []apps.App) (*report.Table, error) {
 	t := &report.Table{ID: id, Title: title}
 	for _, app := range list {
-		s, fr, br, err := apps.Speedup(app)
+		s, fr, br, err := apps.Speedup(app, machine.PlatformByName)
 		if err != nil {
 			return nil, err
 		}

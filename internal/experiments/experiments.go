@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"frontiersim/internal/machine"
 	"frontiersim/internal/report"
 )
 
@@ -22,6 +23,19 @@ type Options struct {
 	// runner must draw every random number from Options.Seed and never
 	// from shared state.
 	Seed int64
+	// Machine overrides the machine under test (nil = the canonical
+	// Frontier spec). Comparison baselines — Summit's side of fig6, the
+	// application tables' named platforms — stay canonical regardless,
+	// since their paper values are tied to those specific systems.
+	Machine *machine.Spec
+}
+
+// machine returns the spec of the machine under test.
+func (o Options) machine() machine.Spec {
+	if o.Machine != nil {
+		return *o.Machine
+	}
+	return machine.Frontier()
 }
 
 // DefaultOptions returns the configuration used for the recorded runs.

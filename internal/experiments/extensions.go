@@ -12,7 +12,6 @@ import (
 	"frontiersim/internal/network"
 	"frontiersim/internal/report"
 	"frontiersim/internal/sim"
-	"frontiersim/internal/storage"
 	"frontiersim/internal/sysmgmt"
 	"frontiersim/internal/units"
 	"frontiersim/internal/workload"
@@ -22,13 +21,16 @@ import (
 // reports congestion-control protection eroding: average impacts of
 // 1.2-1.6x and tails of 1.8-7.6x, versus the ideal 1.0x at 8 PPN.
 func AblationPPN(o Options) (*report.Table, error) {
-	f, err := fabric.NewDragonfly(fabric.FrontierConfig())
+	f, err := o.machine().NewFabric()
 	if err != nil {
 		return nil, err
 	}
 	t := &report.Table{ID: "ablation-ppn", Title: "GPCNeT at 8 vs 32 processes per node"}
 	for _, ppn := range []int{8, 32} {
 		cfg := network.DefaultGPCNeTConfig()
+		if n := f.Cfg.ComputeNodes(); cfg.Nodes > n {
+			cfg.Nodes = n
+		}
 		cfg.PPN = ppn
 		if o.Quick {
 			cfg.LatencySamples = 600
@@ -60,7 +62,11 @@ func AblationPPN(o Options) (*report.Table, error) {
 // training sets.
 func ExtBurstBuffer(o Options) (*report.Table, error) {
 	t := &report.Table{ID: "ext-burstbuffer", Title: "Node-local burst buffer use cases (§3.3)"}
-	bb := storage.NewBurstBuffer(9472)
+	m := o.machine()
+	bb, err := m.BurstBuffer(0) // whole machine
+	if err != nil {
+		return nil, err
+	}
 	size := 700 * units.TiB
 	absorb, drain, err := bb.CheckpointWrite(size)
 	if err != nil {
@@ -70,7 +76,10 @@ func ExtBurstBuffer(o Options) (*report.Table, error) {
 	t.AddInfo("background drain to Orion", fmt.Sprintf("%v", drain), "overlaps computation")
 	t.AddInfo("stall reduction vs direct PFS", fmt.Sprintf("%.1fx", bb.CheckpointSpeedup(size)), "")
 
-	ml := storage.NewBurstBuffer(1000)
+	ml, err := m.BurstBuffer(1000)
+	if err != nil {
+		return nil, err
+	}
 	dataset := 1 * units.PB
 	cold, err := ml.EpochRead(dataset, 1)
 	if err != nil {
@@ -90,13 +99,18 @@ func ExtBurstBuffer(o Options) (*report.Table, error) {
 // scalable boot and transparent leader failover.
 func ExtSysmgmt(o Options) (*report.Table, error) {
 	k := sim.NewKernel(o.Seed)
-	h, err := sysmgmt.New(k, sysmgmt.DefaultConfig())
+	m := o.machine()
+	mgmtCfg, err := m.MgmtConfig()
+	if err != nil {
+		return nil, err
+	}
+	h, err := sysmgmt.New(k, mgmtCfg)
 	if err != nil {
 		return nil, err
 	}
 	t := &report.Table{ID: "ext-sysmgmt", Title: "HPCM management plane (§3.4.2)"}
 	t.AddInfo("plane", h.String(), "1 admin + 21 leaders + 12 DVS + 2 slurmctl")
-	t.AddInfo("full-machine boot", fmt.Sprintf("%v", h.BootTime(9472)), "Gluster image streaming in waves")
+	t.AddInfo("full-machine boot", fmt.Sprintf("%v", h.BootTime(m.Nodes())), "Gluster image streaming in waves")
 	leader, err := h.LeaderFor(0)
 	if err != nil {
 		return nil, err
@@ -127,7 +141,7 @@ func ExtSysmgmt(o Options) (*report.Table, error) {
 // with the reliability model injecting failures, reporting utilization,
 // queue waits, and observed MTTI.
 func ExtOperations(o Options) (*report.Table, error) {
-	sys, err := core.NewFrontier(o.Seed)
+	sys, err := core.New(o.machine(), o.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -157,7 +171,7 @@ func ExtOperations(o Options) (*report.Table, error) {
 // halves switch ports and inter-switch cables against a non-blocking
 // Clos for the same endpoints — the trade that funds the fat nodes.
 func ExtInventory(o Options) (*report.Table, error) {
-	f, err := fabric.NewDragonfly(fabric.FrontierConfig())
+	f, err := o.machine().NewFabric()
 	if err != nil {
 		return nil, err
 	}

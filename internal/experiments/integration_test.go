@@ -6,7 +6,7 @@ import (
 	"testing"
 
 	"frontiersim/internal/core"
-	"frontiersim/internal/fabric"
+	"frontiersim/internal/machine"
 	"frontiersim/internal/mpi"
 	"frontiersim/internal/network"
 	"frontiersim/internal/power"
@@ -17,7 +17,7 @@ import (
 // independent implementations of the same fabric physics; their
 // all-to-all predictions must agree.
 func TestAnalyticVsSolverAllToAll(t *testing.T) {
-	f, err := fabric.NewDragonfly(fabric.ScaledConfig(8, 8, 4))
+	f, err := machine.Scaled(8, 8, 4).NewFabric()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestFig4MatchesStream(t *testing.T) {
 // The event-driven transport's zero-load ping must agree with the
 // fabric's analytic path latency.
 func TestTransportMatchesPathLatency(t *testing.T) {
-	f, err := fabric.NewDragonfly(fabric.ScaledConfig(6, 8, 4))
+	f, err := machine.Scaled(6, 8, 4).NewFabric()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"frontiersim/internal/rng"
 
-	"frontiersim/internal/fabric"
+	"frontiersim/internal/machine"
 	"frontiersim/internal/network"
 	"frontiersim/internal/report"
 )
@@ -15,8 +15,8 @@ func Fig6(o Options) (*report.Table, error) {
 	t := &report.Table{ID: "fig6", Title: "mpiGraph per-NIC receive bandwidth census"}
 	r := rng.New(o.Seed)
 
-	// Frontier.
-	df, err := fabric.NewDragonfly(fabric.FrontierConfig())
+	// The machine under test (canonically Frontier's dragonfly).
+	df, err := o.machine().NewFabric()
 	if err != nil {
 		return nil, err
 	}
@@ -33,8 +33,8 @@ func Fig6(o Options) (*report.Table, error) {
 	t.Add("Frontier median", "wide distribution", report.GB(dres.Median), 0, 0,
 		fmt.Sprintf("spread %.1fx across %d samples", dres.Spread(), len(dres.Samples)))
 
-	// Summit.
-	cl, err := fabric.NewClos(fabric.SummitClosConfig())
+	// Summit, the fixed comparison baseline.
+	cl, err := machine.Summit().NewFabric()
 	if err != nil {
 		return nil, err
 	}
@@ -62,11 +62,14 @@ func Fig6(o Options) (*report.Table, error) {
 // Table5 reproduces GPCNeT at 9,400 nodes and 8 PPN with congestion
 // control enabled.
 func Table5(o Options) (*report.Table, error) {
-	f, err := fabric.NewDragonfly(fabric.FrontierConfig())
+	f, err := o.machine().NewFabric()
 	if err != nil {
 		return nil, err
 	}
 	cfg := network.DefaultGPCNeTConfig()
+	if n := f.Cfg.ComputeNodes(); cfg.Nodes > n {
+		cfg.Nodes = n // variant machines smaller than the 9,400-node run
+	}
 	if o.Quick {
 		cfg.LatencySamples = 800
 	}

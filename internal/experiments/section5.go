@@ -5,7 +5,6 @@ import (
 	"frontiersim/internal/rng"
 	"sort"
 
-	"frontiersim/internal/hpl"
 	"frontiersim/internal/power"
 	"frontiersim/internal/report"
 	"frontiersim/internal/resilience"
@@ -15,8 +14,15 @@ import (
 // Sec51 reproduces the energy/power discussion: Frontier debuted #1 on
 // both TOP500 and Green500.
 func Sec51(o Options) (*report.Table, error) {
-	spec := hpl.FrontierSpec()
-	pw := power.Frontier()
+	m := o.machine()
+	spec, err := m.HPLSpec()
+	if err != nil {
+		return nil, err
+	}
+	pw, err := m.PowerMachine()
+	if err != nil {
+		return nil, err
+	}
 	t := &report.Table{ID: "sec51", Title: "Energy and power (§5.1)"}
 	rmax := float64(spec.HPLRmax(spec.Nodes)) / 1e18
 	t.Add("HPL Rmax", "1.1 EF", fmt.Sprintf("%.2f EF", rmax), 1.1, rmax, "June 2022 TOP500 #1")
@@ -37,7 +43,10 @@ func Sec51(o Options) (*report.Table, error) {
 // Sec54 reproduces the resiliency analysis: MTTI near the 2008 report's
 // four-hour projection, led by memory and power supplies.
 func Sec54(o Options) (*report.Table, error) {
-	m := resilience.Frontier()
+	m, err := o.machine().ResilienceModel()
+	if err != nil {
+		return nil, err
+	}
 	t := &report.Table{ID: "sec54", Title: "Resiliency (§5.4)"}
 	mttiH := float64(m.SystemMTTI()) / 3600
 	t.Add("system MTTI (analytic)", "~4 h (report projection)", fmt.Sprintf("%.1f h", mttiH), 4, mttiH,

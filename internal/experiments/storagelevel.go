@@ -11,16 +11,24 @@ import (
 // Table2 reproduces the I/O subsystem specification table.
 func Table2(o Options) (*report.Table, error) {
 	t := &report.Table{ID: "table2", Title: "I/O subsystem capacity and theoretical bandwidths"}
-	nl := storage.NewNodeLocalStore()
-	agg := nl.Aggregate(9472)
-	contractedRead := float64(nl.ContractedRead()) * 9472
-	contractedWrite := float64(nl.ContractedWrite()) * 9472
+	m := o.machine()
+	nl, err := m.NodeLocal()
+	if err != nil {
+		return nil, err
+	}
+	nodes := m.Nodes()
+	agg := nl.Aggregate(nodes)
+	contractedRead := float64(nl.ContractedRead()) * float64(nodes)
+	contractedWrite := float64(nl.ContractedWrite()) * float64(nodes)
 	t.Add("Node-local capacity", "32.9 PB", fmt.Sprintf("%.1f PB", float64(agg.Capacity)/1e15),
 		32.9, float64(agg.Capacity)/1e15, "")
 	t.Add("Node-local read", "75.3 TB/s", report.GB(contractedRead), 75.3, contractedRead/1e12, "theoretical")
 	t.Add("Node-local write", "37.6 TB/s", report.GB(contractedWrite), 37.6, contractedWrite/1e12, "theoretical")
 
-	or := storage.NewOrion()
+	or, err := m.Orion()
+	if err != nil {
+		return nil, err
+	}
 	md := or.Tiers[storage.MetadataTier]
 	pf := or.Tiers[storage.PerformanceTier]
 	ct := or.Tiers[storage.CapacityTier]
@@ -38,7 +46,11 @@ func Table2(o Options) (*report.Table, error) {
 
 // Sec431 reproduces the node-local storage measurements.
 func Sec431(o Options) (*report.Table, error) {
-	nl := storage.NewNodeLocalStore()
+	m := o.machine()
+	nl, err := m.NodeLocal()
+	if err != nil {
+		return nil, err
+	}
 	t := &report.Table{ID: "sec431", Title: "Node-local NVMe, fio measurements per node"}
 	read := nl.RunFio(storage.FioSeqRead, 100*units.GB)
 	write := nl.RunFio(storage.FioSeqWrite, 100*units.GB)
@@ -46,7 +58,7 @@ func Sec431(o Options) (*report.Table, error) {
 	t.Add("seq read", "7.1 GB/s", report.GB(float64(read.Bandwidth)), 7.1, float64(read.Bandwidth)/1e9, "contract: 8 GB/s")
 	t.Add("seq write", "4.2 GB/s", report.GB(float64(write.Bandwidth)), 4.2, float64(write.Bandwidth)/1e9, "contract: 4 GB/s")
 	t.Add("4k random read", "1.58M IOPS", fmt.Sprintf("%.2fM IOPS", iops.IOPS/1e6), 1.58, iops.IOPS/1e6, "contract: 1.6M")
-	agg := nl.Aggregate(9472)
+	agg := nl.Aggregate(m.Nodes())
 	t.Add("full-machine read", "67.3 TB/s", report.GB(float64(agg.Read)), 67.3, float64(agg.Read)/1e12, "")
 	t.Add("full-machine write", "39.8 TB/s", report.GB(float64(agg.Write)), 39.8, float64(agg.Write)/1e12, "")
 	t.Add("full-machine IOPS", "~15.0B", fmt.Sprintf("%.1fB", agg.IOPS/1e9), 15.0, agg.IOPS/1e9, "")
@@ -55,7 +67,10 @@ func Sec431(o Options) (*report.Table, error) {
 
 // Sec432 reproduces the Orion measurements.
 func Sec432(o Options) (*report.Table, error) {
-	or := storage.NewOrion()
+	or, err := o.machine().Orion()
+	if err != nil {
+		return nil, err
+	}
 	t := &report.Table{ID: "sec432", Title: "Orion Lustre streaming and burst ingest"}
 	fr := float64(or.StreamBandwidth(8*units.MB, false))
 	fw := float64(or.StreamBandwidth(8*units.MB, true))

@@ -22,22 +22,6 @@ type ClosConfig struct {
 	EndpointLatency    units.Seconds
 }
 
-// SummitClosConfig returns Summit's EDR InfiniBand fabric: 4,608 nodes on
-// a non-blocking fat tree, 12.5 GB/s per endpoint, ~8.5 GB/s achieved
-// (0.68 efficiency).
-func SummitClosConfig() ClosConfig {
-	return ClosConfig{
-		Name:               "summit-edr-fattree",
-		Leaves:             256,
-		EndpointsPerLeaf:   36,
-		NICsPerNode:        2,
-		LinkRate:           12.5 * units.GBps,
-		EndpointEfficiency: 0.68,
-		SwitchLatency:      300 * units.Nanosecond,
-		EndpointLatency:    900 * units.Nanosecond,
-	}
-}
-
 // NewClos builds a fat-tree fabric. Switch ids 0..Leaves-1 are leaves;
 // switch id Leaves is the idealised core (a folded multi-stage network
 // collapsed into one non-blocking stage).

@@ -69,47 +69,6 @@ type Config struct {
 	EndpointLatency units.Seconds // NIC + software per endpoint
 }
 
-// FrontierConfig returns the full 80-group Frontier fabric: 74 compute
-// groups of 32 switches and 16 endpoints per switch (9,472 nodes ×
-// 4 NICs = 37,888 compute endpoints), 5 I/O groups and 1 management
-// group of 16 switches each.
-func FrontierConfig() Config {
-	return Config{
-		Name:                 "frontier-slingshot11",
-		ComputeGroups:        74,
-		IOGroups:             5,
-		MgmtGroups:           1,
-		ComputeGroupSwitches: 32,
-		TORGroupSwitches:     16,
-		EndpointsPerSwitch:   16,
-		NICsPerNode:          4,
-		LinkRate:             25 * units.GBps,
-		EndpointEfficiency:   0.70,
-		ComputeComputeLinks:  4,
-		ComputeIOLinks:       2,
-		ComputeMgmtLinks:     2,
-		IOIOLinks:            10,
-		IOMgmtLinks:          6,
-		SwitchLatency:        200 * units.Nanosecond,
-		EndpointLatency:      650 * units.Nanosecond,
-	}
-}
-
-// ScaledConfig returns a small dragonfly with the same structural ratios
-// as Frontier (full intra-group connectivity, tapered global links) for
-// fast tests: computeGroups groups of switchesPerGroup switches with
-// endpointsPerSwitch endpoints each.
-func ScaledConfig(computeGroups, switchesPerGroup, endpointsPerSwitch int) Config {
-	c := FrontierConfig()
-	c.Name = fmt.Sprintf("scaled-dragonfly-%dx%dx%d", computeGroups, switchesPerGroup, endpointsPerSwitch)
-	c.ComputeGroups = computeGroups
-	c.IOGroups = 0
-	c.MgmtGroups = 0
-	c.ComputeGroupSwitches = switchesPerGroup
-	c.EndpointsPerSwitch = endpointsPerSwitch
-	return c
-}
-
 // Validate checks structural invariants: the port budget of the 64-port
 // switch (16 L0 + 32 L1 + 16 L2 on compute blades) must not be exceeded.
 func (c Config) Validate() error {

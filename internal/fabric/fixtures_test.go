@@ -1,0 +1,63 @@
+package fabric
+
+import (
+	"fmt"
+
+	"frontiersim/internal/units"
+)
+
+// Test fixtures. Production code derives these configurations from
+// internal/machine (which imports this package, so the tests replicate
+// the values locally); TestFixturesMatchMachineSpecs in
+// internal/machine/golden_test.go pins the two against each other.
+
+// FrontierConfig is the full 80-group Frontier fabric: 74 compute
+// groups of 32 switches and 16 endpoints per switch, 5 I/O groups and
+// 1 management group of 16 switches each.
+func FrontierConfig() Config {
+	return Config{
+		Name:                 "frontier-slingshot11",
+		ComputeGroups:        74,
+		IOGroups:             5,
+		MgmtGroups:           1,
+		ComputeGroupSwitches: 32,
+		TORGroupSwitches:     16,
+		EndpointsPerSwitch:   16,
+		NICsPerNode:          4,
+		LinkRate:             25 * units.GBps,
+		EndpointEfficiency:   0.70,
+		ComputeComputeLinks:  4,
+		ComputeIOLinks:       2,
+		ComputeMgmtLinks:     2,
+		IOIOLinks:            10,
+		IOMgmtLinks:          6,
+		SwitchLatency:        200 * units.Nanosecond,
+		EndpointLatency:      650 * units.Nanosecond,
+	}
+}
+
+// ScaledConfig is a small dragonfly with Frontier's structural ratios.
+func ScaledConfig(computeGroups, switchesPerGroup, endpointsPerSwitch int) Config {
+	c := FrontierConfig()
+	c.Name = fmt.Sprintf("scaled-dragonfly-%dx%dx%d", computeGroups, switchesPerGroup, endpointsPerSwitch)
+	c.ComputeGroups = computeGroups
+	c.IOGroups = 0
+	c.MgmtGroups = 0
+	c.ComputeGroupSwitches = switchesPerGroup
+	c.EndpointsPerSwitch = endpointsPerSwitch
+	return c
+}
+
+// SummitClosConfig is Summit's dual-rail EDR fat tree.
+func SummitClosConfig() ClosConfig {
+	return ClosConfig{
+		Name:               "summit-edr-fattree",
+		Leaves:             256,
+		EndpointsPerLeaf:   36,
+		NICsPerNode:        2,
+		LinkRate:           12.5 * units.GBps,
+		EndpointEfficiency: 0.68,
+		SwitchLatency:      300 * units.Nanosecond,
+		EndpointLatency:    900 * units.Nanosecond,
+	}
+}

@@ -1,0 +1,16 @@
+package hpl
+
+import "frontiersim/internal/units"
+
+// FrontierSpec is a test fixture: production code derives the machine
+// spec from internal/machine (which imports this package). The golden
+// test in internal/machine pins the derived spec to these values.
+func FrontierSpec() MachineSpec {
+	return MachineSpec{
+		Nodes:             9472,
+		GCDsPerNode:       8,
+		VectorFP64PerGCD:  23.95 * units.TeraFlops,
+		HBMPerGCD:         1.635 * units.TBps,
+		HBMCapacityPerGCD: 64 * units.GiB,
+	}
+}

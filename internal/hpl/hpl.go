@@ -23,17 +23,6 @@ type MachineSpec struct {
 	HBMCapacityPerGCD units.Bytes
 }
 
-// FrontierSpec returns Frontier's aggregate description.
-func FrontierSpec() MachineSpec {
-	return MachineSpec{
-		Nodes:             9472,
-		GCDsPerNode:       8,
-		VectorFP64PerGCD:  23.95 * units.TeraFlops,
-		HBMPerGCD:         1.635 * units.TBps,
-		HBMCapacityPerGCD: 64 * units.GiB,
-	}
-}
-
 // RPeak is the machine's theoretical FP64 vector peak.
 func (m MachineSpec) RPeak() units.Flops {
 	return units.Flops(float64(m.Nodes*m.GCDsPerNode) * float64(m.VectorFP64PerGCD))

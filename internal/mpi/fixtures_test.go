@@ -1,0 +1,46 @@
+package mpi
+
+import (
+	"fmt"
+
+	"frontiersim/internal/fabric"
+	"frontiersim/internal/units"
+)
+
+// Test fixtures replicating the configs the machine-spec layer derives
+// (this package sits below internal/machine in the import graph, so the
+// tests carry the values locally; the golden test in internal/machine
+// pins the spec-derived configs to the same values).
+
+func frontierConfig() fabric.Config {
+	return fabric.Config{
+		Name:                 "frontier-slingshot11",
+		ComputeGroups:        74,
+		IOGroups:             5,
+		MgmtGroups:           1,
+		ComputeGroupSwitches: 32,
+		TORGroupSwitches:     16,
+		EndpointsPerSwitch:   16,
+		NICsPerNode:          4,
+		LinkRate:             25 * units.GBps,
+		EndpointEfficiency:   0.70,
+		ComputeComputeLinks:  4,
+		ComputeIOLinks:       2,
+		ComputeMgmtLinks:     2,
+		IOIOLinks:            10,
+		IOMgmtLinks:          6,
+		SwitchLatency:        200 * units.Nanosecond,
+		EndpointLatency:      650 * units.Nanosecond,
+	}
+}
+
+func scaledConfig(computeGroups, switchesPerGroup, endpointsPerSwitch int) fabric.Config {
+	c := frontierConfig()
+	c.Name = fmt.Sprintf("scaled-dragonfly-%dx%dx%d", computeGroups, switchesPerGroup, endpointsPerSwitch)
+	c.ComputeGroups = computeGroups
+	c.IOGroups = 0
+	c.MgmtGroups = 0
+	c.ComputeGroupSwitches = switchesPerGroup
+	c.EndpointsPerSwitch = endpointsPerSwitch
+	return c
+}

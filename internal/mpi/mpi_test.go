@@ -11,7 +11,7 @@ import (
 
 func testFabric(t *testing.T) *fabric.Fabric {
 	t.Helper()
-	f, err := fabric.NewDragonfly(fabric.ScaledConfig(6, 8, 4))
+	f, err := fabric.NewDragonfly(scaledConfig(6, 8, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestSpreadJobTaperLimited(t *testing.T) {
 func TestFrontierAllToAllCalibration(t *testing.T) {
 	// Paper §4.2.2: all-to-all at 8 PPN with 128 KiB messages achieves
 	// ~30-32 GB/s per node (7.5-8 GB/s per NIC).
-	f, err := fabric.NewDragonfly(fabric.FrontierConfig())
+	f, err := fabric.NewDragonfly(frontierConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

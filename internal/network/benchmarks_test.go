@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"frontiersim/internal/fabric"
+	"frontiersim/internal/machine"
 	"frontiersim/internal/units"
 )
 
@@ -87,7 +88,10 @@ func TestMpiGraphScaledDragonfly(t *testing.T) {
 }
 
 func TestMpiGraphClosTight(t *testing.T) {
-	cfg := fabric.SummitClosConfig()
+	cfg, err := machine.Summit().ClosConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg.Leaves = 16 // scaled Summit
 	f, err := fabric.NewClos(cfg)
 	if err != nil {
@@ -117,7 +121,10 @@ func TestMpiGraphDragonflyWiderThanClos(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cc := fabric.SummitClosConfig()
+	cc, err := machine.Summit().ClosConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
 	cc.Leaves = 16
 	cl, _ := fabric.NewClos(cc)
 	clCfg := DefaultMpiGraphConfig()
@@ -228,7 +235,7 @@ func TestFrontierScaleCalibration(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-scale calibration in -short mode")
 	}
-	f, err := fabric.NewDragonfly(fabric.FrontierConfig())
+	f, err := machine.Frontier().NewFabric()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,14 +4,14 @@ import (
 	"fmt"
 	"math/rand"
 
-	"frontiersim/internal/fabric"
+	"frontiersim/internal/machine"
 	"frontiersim/internal/network"
 )
 
 // Allocate bandwidth to two flows that share a destination NIC: the
 // max-min solver splits the 17.5 GB/s ejection link fairly.
 func ExampleSolve() {
-	f, err := fabric.NewDragonfly(fabric.ScaledConfig(6, 8, 4))
+	f, err := machine.Scaled(6, 8, 4).NewFabric()
 	if err != nil {
 		panic(err)
 	}

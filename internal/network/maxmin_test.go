@@ -7,11 +7,12 @@ import (
 	"testing/quick"
 
 	"frontiersim/internal/fabric"
+	"frontiersim/internal/machine"
 )
 
 func smallFabric(t *testing.T) *fabric.Fabric {
 	t.Helper()
-	f, err := fabric.NewDragonfly(fabric.ScaledConfig(6, 8, 4))
+	f, err := machine.Scaled(6, 8, 4).NewFabric()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,32 @@
+package power
+
+import "frontiersim/internal/units"
+
+// Frontier is a test fixture: production code derives the power model
+// from internal/machine (which imports this package). The golden test
+// in internal/machine pins the derived model to these values.
+func Frontier() Machine {
+	return Machine{
+		Nodes: 9472,
+		NodeHPL: NodePower{
+			CPU:    240,
+			GPUs:   4 * 380,
+			Memory: 45,
+			NIC:    4 * 25,
+			NVMe:   2 * 9,
+			Misc:   125,
+		},
+		NodeIdle: NodePower{
+			CPU:    90,
+			GPUs:   4 * 90,
+			Memory: 25,
+			NIC:    4 * 15,
+			NVMe:   2 * 5,
+			Misc:   80,
+		},
+		Switches:        74*32 + 6*16,
+		SwitchPower:     250,
+		StorageOverhead: 450 * units.Kilowatt,
+		CoolingFactor:   1.03,
+	}
+}

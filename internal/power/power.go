@@ -38,33 +38,6 @@ type Machine struct {
 	CoolingFactor float64
 }
 
-// Frontier returns the calibrated Frontier power model.
-func Frontier() Machine {
-	return Machine{
-		Nodes: 9472,
-		NodeHPL: NodePower{
-			CPU:    240,
-			GPUs:   4 * 380,
-			Memory: 45,
-			NIC:    4 * 25,
-			NVMe:   2 * 9,
-			Misc:   125,
-		},
-		NodeIdle: NodePower{
-			CPU:    90,
-			GPUs:   4 * 90,
-			Memory: 25,
-			NIC:    4 * 15,
-			NVMe:   2 * 5,
-			Misc:   80,
-		},
-		Switches:        74*32 + 6*16,
-		SwitchPower:     250,
-		StorageOverhead: 450 * units.Kilowatt,
-		CoolingFactor:   1.03,
-	}
-}
-
 // SystemHPL is the machine draw during an HPL run on n nodes (the rest
 // of the machine idles).
 func (m Machine) SystemHPL(activeNodes int) units.Watts {

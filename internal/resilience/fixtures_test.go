@@ -1,0 +1,20 @@
+package resilience
+
+import "frontiersim/internal/units"
+
+// Frontier is a test fixture: production code derives the reliability
+// model from internal/machine (which imports this package). The golden
+// test in internal/machine pins the derived model to these values.
+func Frontier() Model {
+	return Model{Classes: []ComponentClass{
+		{Name: "hbm-uncorrectable", Count: 303104, MTBF: 3.4e6 * units.Hour, Interrupting: true},
+		{Name: "power-supply", Count: 74 * 64, MTBF: 9.5e4 * units.Hour, Interrupting: true},
+		{Name: "ddr4-uncorrectable", Count: 75776, MTBF: 6.0e6 * units.Hour, Interrupting: true},
+		{Name: "gpu", Count: 37888, MTBF: 2.2e6 * units.Hour, Interrupting: true},
+		{Name: "cpu", Count: 9472, MTBF: 3.0e6 * units.Hour, Interrupting: true},
+		{Name: "nic", Count: 37888, MTBF: 5.0e6 * units.Hour, Interrupting: true},
+		{Name: "switch", Count: 2464, MTBF: 1.5e6 * units.Hour, Interrupting: false},
+		{Name: "cable", Count: 40000, MTBF: 8.0e6 * units.Hour, Interrupting: false},
+		{Name: "nvme", Count: 18944, MTBF: 8.0e6 * units.Hour, Interrupting: true},
+	}}
+}

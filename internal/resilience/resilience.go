@@ -42,32 +42,6 @@ type Model struct {
 	Classes []ComponentClass
 }
 
-// Frontier returns the calibrated model: MTTI near the 2008 report's
-// four-hour projection, with memory and power supplies the leading
-// contributors, as the paper observes on both Frontier and Summit.
-func Frontier() Model {
-	return Model{Classes: []ComponentClass{
-		// 9,472 nodes × 8 GCDs × 4 stacks of HBM2e. Uncorrectable
-		// error rates scale with capacity, in line with Summit's HBM2.
-		{Name: "hbm-uncorrectable", Count: 303104, MTBF: 3.4e6 * units.Hour, Interrupting: true},
-		// Rack power supplies: the paper calls them out as a large
-		// source of upsets with an HPE mitigation plan pending.
-		{Name: "power-supply", Count: 74 * 64, MTBF: 9.5e4 * units.Hour, Interrupting: true},
-		// DDR4 DIMMs (ECC catches most; residual uncorrectables).
-		{Name: "ddr4-uncorrectable", Count: 75776, MTBF: 6.0e6 * units.Hour, Interrupting: true},
-		// GPU hardware (non-memory) and CPU failures.
-		{Name: "gpu", Count: 37888, MTBF: 2.2e6 * units.Hour, Interrupting: true},
-		{Name: "cpu", Count: 9472, MTBF: 3.0e6 * units.Hour, Interrupting: true},
-		// NICs, cables and switches: fabric manager routes around many,
-		// but endpoint losses interrupt.
-		{Name: "nic", Count: 37888, MTBF: 5.0e6 * units.Hour, Interrupting: true},
-		{Name: "switch", Count: 2464, MTBF: 1.5e6 * units.Hour, Interrupting: false},
-		{Name: "cable", Count: 40000, MTBF: 8.0e6 * units.Hour, Interrupting: false},
-		// Node-local NVMe: RAID-0, so a loss interrupts the node's job.
-		{Name: "nvme", Count: 18944, MTBF: 8.0e6 * units.Hour, Interrupting: true},
-	}}
-}
-
 // SystemMTTI is the analytic mean time between job-interrupting events
 // across the whole machine.
 func (m Model) SystemMTTI() units.Seconds {
@@ -204,10 +178,9 @@ func (m Model) String() string {
 // Summit's HBM2, once you scale up based on Frontier's HBM2e capacity".
 // It returns the two machines' modelled HBM interrupt rates per PiB-hour
 // and the capacity-scaled ratio (≈1 when the technologies behave alike).
-func SummitHBMComparison() (frontierPerPiBHour, summitPerPiBHour, scaledRatio float64) {
-	frontier := Frontier()
+func (m Model) SummitHBMComparison() (frontierPerPiBHour, summitPerPiBHour, scaledRatio float64) {
 	var hbmRate float64
-	for _, c := range frontier.Classes {
+	for _, c := range m.Classes {
 		if c.Name == "hbm-uncorrectable" {
 			hbmRate = c.Rate() * 3600 // failures per hour
 		}

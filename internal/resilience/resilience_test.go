@@ -158,7 +158,7 @@ func TestComponentClassEdges(t *testing.T) {
 // on Summit's HBM2, once you scale up based on Frontier's HBM2e
 // capacity."
 func TestSummitHBMComparison(t *testing.T) {
-	frontier, summit, ratio := SummitHBMComparison()
+	frontier, summit, ratio := Frontier().SummitHBMComparison()
 	if frontier <= 0 || summit <= 0 {
 		t.Fatal("rates must be positive")
 	}

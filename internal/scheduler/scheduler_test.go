@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"frontiersim/internal/fabric"
+	"frontiersim/internal/machine"
 	"frontiersim/internal/sim"
 	"frontiersim/internal/units"
 )
@@ -13,7 +14,7 @@ import (
 func testRig(t *testing.T) (*sim.Kernel, *fabric.Fabric, *Scheduler) {
 	t.Helper()
 	k := sim.NewKernel(1)
-	f, err := fabric.NewDragonfly(fabric.ScaledConfig(6, 8, 4))
+	f, err := machine.Scaled(6, 8, 4).NewFabric()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestQueueAndRunningViews(t *testing.T) {
 func TestNodeConservationProperty(t *testing.T) {
 	f := func(sizes []uint8) bool {
 		k := sim.NewKernel(2)
-		fab, err := fabric.NewDragonfly(fabric.ScaledConfig(6, 8, 4))
+		fab, err := machine.Scaled(6, 8, 4).NewFabric()
 		if err != nil {
 			return false
 		}

@@ -73,8 +73,9 @@ type Environment struct {
 	Tools     []Tool
 }
 
-// Frontier returns the environment as the paper describes it.
-func Frontier() *Environment {
+// FrontierEnvironment returns the CPE+ROCm+OLCF environment as the
+// paper describes it.
+func FrontierEnvironment() *Environment {
 	return &Environment{
 		Compilers: []Compiler{
 			{Name: "cce-c/c++", Stack: CPE, Languages: []Language{C, CPP}, LLVMBased: true,

@@ -5,7 +5,7 @@ import (
 )
 
 func TestEnvironmentShape(t *testing.T) {
-	e := Frontier()
+	e := FrontierEnvironment()
 	if len(e.Compilers) < 6 {
 		t.Errorf("compilers = %d, want >= 6", len(e.Compilers))
 	}
@@ -20,7 +20,7 @@ func TestEnvironmentShape(t *testing.T) {
 // "The C and C++ compilers in both stacks are based on the open-source
 // LLVM compiler suite. Cray's Fortran compiler is not LLVM-based."
 func TestLLVMBasis(t *testing.T) {
-	e := Frontier()
+	e := FrontierEnvironment()
 	for _, c := range e.CompilersFor(CPP) {
 		if (c.Stack == CPE || c.Stack == ROCm) && !c.LLVMBased {
 			t.Errorf("%s: vendor C++ compilers are LLVM-based", c.Name)
@@ -36,7 +36,7 @@ func TestLLVMBasis(t *testing.T) {
 // "The compilers generally support most features of OpenMP 5.0, 5.1 and
 // 5.2 at present"; ROCm's Fortran lags.
 func TestOpenMPSupport(t *testing.T) {
-	e := Frontier()
+	e := FrontierEnvironment()
 	for _, name := range []string{"cce-c/c++", "amdclang"} {
 		for _, v := range []string{"5.0", "5.1", "5.2"} {
 			if !e.SupportsOpenMP(name, v) {
@@ -55,7 +55,7 @@ func TestOpenMPSupport(t *testing.T) {
 // "Cray Fortran supports OpenACC 2.0 ... The gcc compiler suite is the
 // main vehicle for teams requiring OpenACC on Frontier (2.6)."
 func TestOpenACCStory(t *testing.T) {
-	e := Frontier()
+	e := FrontierEnvironment()
 	var cray, gcc Compiler
 	for _, c := range e.Compilers {
 		switch c.Name {
@@ -105,7 +105,7 @@ func TestOffloadPaths(t *testing.T) {
 }
 
 func TestFortranAvailability(t *testing.T) {
-	e := Frontier()
+	e := FrontierEnvironment()
 	fortran := e.CompilersFor(Fortran)
 	if len(fortran) != 3 {
 		t.Errorf("fortran compilers = %d, want 3 (cce, amdflang, gcc)", len(fortran))
@@ -113,7 +113,7 @@ func TestFortranAvailability(t *testing.T) {
 }
 
 func TestToolRoster(t *testing.T) {
-	e := Frontier()
+	e := FrontierEnvironment()
 	debug := e.ToolsFor("debug")
 	perf := e.ToolsFor("performance")
 	if len(debug) < 4 {

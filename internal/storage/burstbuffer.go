@@ -18,9 +18,10 @@ type BurstBuffer struct {
 	Nodes int
 }
 
-// NewBurstBuffer builds the burst-buffer view for an n-node job.
-func NewBurstBuffer(n int) *BurstBuffer {
-	return &BurstBuffer{Local: NewNodeLocalStore(), PFS: NewOrion(), Nodes: n}
+// NewBurstBuffer builds the burst-buffer view for an n-node job over
+// the given node-local store and parallel file system.
+func NewBurstBuffer(local *NodeLocalStore, pfs *Orion, n int) *BurstBuffer {
+	return &BurstBuffer{Local: local, PFS: pfs, Nodes: n}
 }
 
 // localWrite is the job's aggregate NVMe write rate.

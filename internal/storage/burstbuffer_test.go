@@ -8,7 +8,7 @@ import (
 )
 
 func TestCheckpointWriteAbsorbsFaster(t *testing.T) {
-	bb := NewBurstBuffer(9472)
+	bb := newTestBurstBuffer(9472)
 	size := 700 * units.TiB
 	absorb, drain, err := bb.CheckpointWrite(size)
 	if err != nil {
@@ -30,7 +30,7 @@ func TestCheckpointWriteAbsorbsFaster(t *testing.T) {
 }
 
 func TestCheckpointCapacityGuard(t *testing.T) {
-	bb := NewBurstBuffer(2)
+	bb := newTestBurstBuffer(2)
 	if _, _, err := bb.CheckpointWrite(10 * units.TB); err == nil {
 		t.Error("oversized checkpoint should error (two residents must fit)")
 	}
@@ -43,7 +43,7 @@ func TestCheckpointCapacityGuard(t *testing.T) {
 }
 
 func TestMLEpochCaching(t *testing.T) {
-	bb := NewBurstBuffer(1000)
+	bb := newTestBurstBuffer(1000)
 	dataset := 1 * units.PB // 1 TB per node: fits the 3.5 TB NVMe
 	first, err := bb.EpochRead(dataset, 1)
 	if err != nil {
@@ -64,7 +64,7 @@ func TestMLEpochCaching(t *testing.T) {
 }
 
 func TestMLDatasetTooBigFallsBack(t *testing.T) {
-	bb := NewBurstBuffer(10)
+	bb := newTestBurstBuffer(10)
 	huge := 100 * units.PB
 	first, _ := bb.EpochRead(huge, 1)
 	second, _ := bb.EpochRead(huge, 2)
@@ -83,8 +83,8 @@ func TestMLDatasetTooBigFallsBack(t *testing.T) {
 }
 
 func TestBurstBufferScalesWithNodes(t *testing.T) {
-	small := NewBurstBuffer(100)
-	big := NewBurstBuffer(1000)
+	small := newTestBurstBuffer(100)
+	big := newTestBurstBuffer(1000)
 	size := 10 * units.TB
 	a1, _, err := small.CheckpointWrite(size)
 	if err != nil {

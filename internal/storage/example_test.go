@@ -2,14 +2,25 @@ package storage_test
 
 import (
 	"fmt"
+	"log"
 
+	"frontiersim/internal/machine"
 	"frontiersim/internal/storage"
 	"frontiersim/internal/units"
 )
 
+// frontierOrion derives the center-wide file system from the machine spec.
+func frontierOrion() *storage.Orion {
+	o, err := machine.Frontier().Orion()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return o
+}
+
 // Where do a file's bytes land under Orion's Progressive File Layout?
 func ExampleOrion_SplitFile() {
-	o := storage.NewOrion()
+	o := frontierOrion()
 	dom, flash, disk := o.SplitFile(100 * units.MB)
 	fmt.Println("metadata (DoM):", dom)
 	fmt.Println("flash tier:", flash)
@@ -22,7 +33,7 @@ func ExampleOrion_SplitFile() {
 
 // The full-machine checkpoint the paper sizes: ~700 TiB in ~180 s.
 func ExampleOrion_IngestTime() {
-	o := storage.NewOrion()
+	o := frontierOrion()
 	fmt.Println(o.IngestTime(700 * units.TiB))
 	// Output:
 	// 3.0min

@@ -18,17 +18,6 @@ type NVMeDevice struct {
 	RandReadIOPS float64
 }
 
-// FrontierNVMe returns one of the two node-local M.2 devices: half of the
-// contracted per-node 8 GB/s read, 4 GB/s write, 1.6M IOPS envelope.
-func FrontierNVMe() NVMeDevice {
-	return NVMeDevice{
-		Capacity:     1.75 * units.TB,
-		SeqRead:      4 * units.GBps,
-		SeqWrite:     2 * units.GBps,
-		RandReadIOPS: 800e3,
-	}
-}
-
 // NodeLocalStore is the user-managed RAID-0 pair on every compute node:
 // striping for bandwidth and IOPS, no redundancy. It is intended for
 // caching writes from simulation jobs and caching reads for ML jobs.
@@ -39,16 +28,6 @@ type NodeLocalStore struct {
 	ReadEfficiency  float64
 	WriteEfficiency float64
 	IOPSEfficiency  float64
-}
-
-// NewNodeLocalStore returns the Frontier node-local configuration.
-func NewNodeLocalStore() *NodeLocalStore {
-	return &NodeLocalStore{
-		Devices:         []NVMeDevice{FrontierNVMe(), FrontierNVMe()},
-		ReadEfficiency:  0.8875,
-		WriteEfficiency: 1.05, // the write contract was conservative
-		IOPSEfficiency:  0.9875,
-	}
 }
 
 // Capacity returns the usable striped capacity (~3.5 TB).

@@ -60,25 +60,6 @@ type SSU struct {
 	Disk        DRAIDGroup
 }
 
-// FrontierSSU returns the Orion SSU as deployed.
-func FrontierSSU() SSU {
-	return SSU{
-		Controllers: 2,
-		NICsPerCtrl: 2,
-		NICRate:     25 * units.GBps,
-		Flash: DRAIDGroup{
-			Data: 4, Parity: 2, Spares: 0, Drives: 24,
-			DriveCapacity: 3.2 * units.TB,
-			DriveBW:       1.95 * units.GBps,
-		},
-		Disk: DRAIDGroup{
-			Data: 8, Parity: 2, Spares: 2, Drives: 212,
-			DriveCapacity: 18 * units.TB,
-			DriveBW:       117 * units.MBps,
-		},
-	}
-}
-
 // NetworkLimit is the SSU's NIC ceiling (100 GB/s).
 func (s SSU) NetworkLimit() units.BytesPerSecond {
 	return units.BytesPerSecond(s.Controllers*s.NICsPerCtrl) * s.NICRate
@@ -97,44 +78,6 @@ type Orion struct {
 	// PFLPerformanceLimit: bytes past DoMLimit up to this offset land
 	// in the performance (flash) tier; the rest in the capacity tier.
 	PFLPerformanceLimit units.Bytes
-}
-
-// NewOrion builds Orion with Table 2's capacities and bandwidths.
-func NewOrion() *Orion {
-	ssu := FrontierSSU()
-	n := 225
-	o := &Orion{
-		SSUs:                n,
-		SSU:                 ssu,
-		DoMLimit:            256 * units.KB,
-		PFLPerformanceLimit: 8 * units.MB,
-		Tiers:               map[TierKind]Tier{},
-	}
-	o.Tiers[MetadataTier] = Tier{
-		Kind:     MetadataTier,
-		Capacity: 10 * units.PB,
-		Read:     0.8 * units.TBps,
-		Write:    0.4 * units.TBps,
-		ReadEff:  0.9, WriteEff: 0.9,
-	}
-	o.Tiers[PerformanceTier] = Tier{
-		Kind:     PerformanceTier,
-		Capacity: ssu.Flash.UsableCapacity() * units.Bytes(n),
-		Read:     10 * units.TBps,
-		Write:    10 * units.TBps,
-		// §4.3.2: up to 11.7 TB/s reads and 9.4 TB/s writes on files
-		// within the flash tier.
-		ReadEff: 1.17, WriteEff: 0.94,
-	}
-	o.Tiers[CapacityTier] = Tier{
-		Kind:     CapacityTier,
-		Capacity: ssu.Disk.UsableCapacity() * units.Bytes(n),
-		Read:     ssu.Disk.StreamBandwidth(false) * units.BytesPerSecond(n),
-		Write:    ssu.Disk.StreamBandwidth(true) * units.BytesPerSecond(n),
-		// §4.3.2: large files see 4.9 TB/s reads, 4.3 TB/s writes.
-		ReadEff: 0.90, WriteEff: 0.97,
-	}
-	return o
 }
 
 // SplitFile applies the PFL layout to a file of the given size and

@@ -1,0 +1,9 @@
+package sysmgmt
+
+// DefaultConfig is a test fixture: Frontier's management plane as the
+// machine-spec layer derives it (1 admin, 21 leaders, 12 DVS nodes,
+// 2 Slurm controllers). The golden test in internal/machine pins the
+// derived config to these values.
+func DefaultConfig() Config {
+	return Config{ComputeNodes: 9472, Leaders: 21, DVSNodes: 12, SlurmCtls: 2}
+}

@@ -89,18 +89,13 @@ type HPCM struct {
 	discoverEvt *sim.Event
 }
 
-// Config sizes the management plane; DefaultConfig matches Frontier.
+// Config sizes the management plane (Frontier: 1 admin, 21 leaders, 12
+// DVS nodes, 2 Slurm controllers — derived by the machine-spec layer).
 type Config struct {
 	ComputeNodes int
 	Leaders      int
 	DVSNodes     int
 	SlurmCtls    int
-}
-
-// DefaultConfig returns Frontier's management plane: 1 admin, 21
-// leaders, 12 DVS nodes, 2 Slurm controller nodes.
-func DefaultConfig() Config {
-	return Config{ComputeNodes: 9472, Leaders: 21, DVSNodes: 12, SlurmCtls: 2}
 }
 
 // New builds the management plane and assigns every compute node to a
