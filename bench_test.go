@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"context"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"frontiersim/internal/experiments"
@@ -22,6 +23,7 @@ import (
 	"frontiersim/internal/memory"
 	"frontiersim/internal/network"
 	"frontiersim/internal/report"
+	"frontiersim/internal/resilience"
 	"frontiersim/internal/scheduler"
 	"frontiersim/internal/sim"
 	"frontiersim/internal/units"
@@ -304,6 +306,113 @@ func BenchmarkRoutingTableBuild(b *testing.B) {
 			b.Fatal("no tables")
 		}
 	}
+}
+
+// BenchmarkKernelSchedule measures the raw event-calendar cycle —
+// schedule into a ~thousand-deep 4-ary heap, dispatch, recycle the arena
+// slot — through the closure-free AtCall path. allocs/op is the
+// steady-state allocation cost per event (the arena makes it ~0);
+// events/sec is the headline number the BENCH trajectory tracks.
+func BenchmarkKernelSchedule(b *testing.B) {
+	k := sim.NewKernel(1)
+	count := 0
+	bump := func(any) { count++ }
+	const depth = 1024
+	// Warm the arena and heap to steady-state size.
+	for i := 0; i < depth; i++ {
+		k.AtCall(sim.Time(i%64), bump, nil)
+	}
+	k.Run()
+	start := k.Executed()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.AtCall(k.Now()+sim.Time(i%64), bump, nil)
+		if i%depth == depth-1 {
+			k.Run()
+		}
+	}
+	k.Run()
+	b.StopTimer()
+	b.ReportMetric(float64(k.Executed()-start)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkTransportStorm keeps thousands of messages in flight across
+// the full Frontier fabric: every hop is an acquire + two scheduled
+// continuations on the kernel, so this is the event-engine throughput
+// number the ISSUE's ≥3x target is measured on. Steady state must hold
+// ~0 allocs/event — hop state is pooled, routes fill reused buffers, and
+// continuations ride the closure-free path.
+func BenchmarkTransportStorm(b *testing.B) {
+	f, err := machine.Frontier().NewFabric()
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := sim.NewKernel(1)
+	tr := network.NewTransport(k, f)
+	n := f.Cfg.ComputeEndpoints()
+	const inflight = 4096
+	storm := func() {
+		// Identical pairs every iteration: the warm-up storm touches
+		// every link resource, so timed iterations measure steady state.
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < inflight; i++ {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			if src == dst {
+				dst = (dst + 1) % n
+			}
+			if err := tr.Send(src, dst, 256*units.KiB, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		k.Run()
+	}
+	tr.WarmLinks() // every link resource exists before measurement
+	storm()        // warm the message pool, path buffers, and waiter queues
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := k.Executed()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		storm()
+	}
+	b.StopTimer()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	events := float64(k.Executed() - start)
+	b.ReportMetric(events/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/events, "allocs/event")
+}
+
+// BenchmarkResiliencyYear injects a year of Frontier's Monte-Carlo
+// failure trace (§5.4's component classes: tens of thousands of events)
+// and dispatches it, the resiliency analogue of the storm benchmark.
+func BenchmarkResiliencyYear(b *testing.B) {
+	m, err := machine.Frontier().ResilienceModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const year = 365 * units.Day
+	var events uint64
+	interrupts := 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel(int64(i))
+		rng := rand.New(rand.NewSource(int64(i)))
+		m.Inject(k, year, rng, func(f resilience.Failure) {
+			if f.Interrupting {
+				interrupts++
+			}
+		})
+		k.Run()
+		events += k.Executed()
+	}
+	b.StopTimer()
+	if interrupts == 0 {
+		b.Fatal("a year on Frontier with no interrupts")
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }
 
 func BenchmarkTransportMessage(b *testing.B) {

@@ -16,8 +16,12 @@
 // Every benchmark present in both reports is printed with its ns/op,
 // B/op and allocs/op deltas; a B/op or allocs/op increase beyond
 // -threshold (default 20%) is flagged as a REGRESSION line and the exit
-// status is 3. ns/op is reported but never flagged — wall time on shared
-// CI runners is too noisy to gate on.
+// status is 3. ns/op is normally reported but not flagged — wall time on
+// shared CI runners is too noisy to gate on — except for the kernel and
+// transport benchmarks (BenchmarkKernel*, BenchmarkTransport*): those
+// are the event-calendar hot path whose throughput the perf trajectory
+// exists to protect, and their inner loops are long enough that a
+// >threshold ns/op increase is signal, not noise.
 package main
 
 import (
@@ -144,6 +148,9 @@ func runCompare(paths []string, threshold float64) int {
 		}
 		check("B/op", ob.BytesPerOp, nb.BytesPerOp)
 		check("allocs/op", ob.AllocsPerOp, nb.AllocsPerOp)
+		if nsGated(nb.Name) {
+			check("ns/op", ob.NsPerOp, nb.NsPerOp)
+		}
 	}
 	for _, b := range old.Benchmarks {
 		if _, unmatched := prev[b.Name]; unmatched {
@@ -155,6 +162,15 @@ func runCompare(paths []string, threshold float64) int {
 		return 3
 	}
 	return 0
+}
+
+// nsGated reports whether a benchmark's ns/op is gated in compare mode.
+// Only the event-calendar hot path — the kernel and transport benchmarks
+// — is stable enough to gate on wall time. Names are matched after the
+// -procs suffix has been stripped by parseLine.
+func nsGated(name string) bool {
+	return strings.HasPrefix(name, "BenchmarkKernel") ||
+		strings.HasPrefix(name, "BenchmarkTransport")
 }
 
 func loadReport(path string) (Report, error) {

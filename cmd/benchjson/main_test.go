@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	b, ok := parseLine("BenchmarkRunAllParallel-8   \t       1\t8648000000 ns/op\t        12.5 max-deviation-%")
@@ -52,6 +57,78 @@ func TestParseLineBenchmem(t *testing.T) {
 	}
 	if _, ok := b.Metrics["allocs/op"]; ok {
 		t.Error("allocs/op should be a first-class field, not a generic metric")
+	}
+}
+
+func TestNsGated(t *testing.T) {
+	for name, want := range map[string]bool{
+		"BenchmarkKernelSchedule":     true,
+		"BenchmarkTransportStorm":     true,
+		"BenchmarkTransportStorm/big": true,
+		"BenchmarkMaxMinSolve":        false,
+		"BenchmarkRunAllParallel":     false,
+	} {
+		if got := nsGated(name); got != want {
+			t.Errorf("nsGated(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// writeReport marshals a report to a temp file for compare-mode tests.
+func writeReport(t *testing.T, dir, name string, benches ...Benchmark) string {
+	t.Helper()
+	data, err := json.Marshal(Report{SHA: name, Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareGatesKernelNsOp(t *testing.T) {
+	dir := t.TempDir()
+	oldRep := writeReport(t, dir, "old",
+		Benchmark{Name: "BenchmarkKernelSchedule", NsPerOp: 100})
+	newRep := writeReport(t, dir, "new",
+		Benchmark{Name: "BenchmarkKernelSchedule", NsPerOp: 150})
+	if got := runCompare([]string{oldRep, newRep}, 0.20); got != 3 {
+		t.Errorf("+50%% ns/op on a kernel benchmark: exit %d, want 3", got)
+	}
+}
+
+func TestCompareIgnoresNsOpOnUngatedBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	oldRep := writeReport(t, dir, "old",
+		Benchmark{Name: "BenchmarkMaxMinSolve", NsPerOp: 100})
+	newRep := writeReport(t, dir, "new",
+		Benchmark{Name: "BenchmarkMaxMinSolve", NsPerOp: 500})
+	if got := runCompare([]string{oldRep, newRep}, 0.20); got != 0 {
+		t.Errorf("ns/op noise on an ungated benchmark: exit %d, want 0", got)
+	}
+}
+
+func TestCompareNsOpWithinThresholdPasses(t *testing.T) {
+	dir := t.TempDir()
+	oldRep := writeReport(t, dir, "old",
+		Benchmark{Name: "BenchmarkTransportStorm", NsPerOp: 100, AllocsPerOp: 10})
+	newRep := writeReport(t, dir, "new",
+		Benchmark{Name: "BenchmarkTransportStorm", NsPerOp: 115, AllocsPerOp: 10})
+	if got := runCompare([]string{oldRep, newRep}, 0.20); got != 0 {
+		t.Errorf("+15%% ns/op under a +20%% threshold: exit %d, want 0", got)
+	}
+}
+
+func TestCompareStillFlagsAllocRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldRep := writeReport(t, dir, "old",
+		Benchmark{Name: "BenchmarkMaxMinSolve", AllocsPerOp: 100})
+	newRep := writeReport(t, dir, "new",
+		Benchmark{Name: "BenchmarkMaxMinSolve", AllocsPerOp: 130})
+	if got := runCompare([]string{oldRep, newRep}, 0.20); got != 3 {
+		t.Errorf("+30%% allocs/op: exit %d, want 3", got)
 	}
 }
 

@@ -365,6 +365,15 @@ func (f *Fabric) MinimalPath(src, dst int, rng *rand.Rand) ([]int, error) {
 	return f.appendMinimalPath(make([]int, 0, 6), src, dst, rng)
 }
 
+// AppendMinimalPath is MinimalPath in append style: the route's links
+// are appended to buf and the extended slice returned, so callers that
+// reuse a scratch buffer (the message transport's pooled per-message hop
+// state) pay no allocation per route. On error the returned slice is nil
+// and buf's visible contents are unchanged.
+func (f *Fabric) AppendMinimalPath(buf []int, src, dst int, rng *rand.Rand) ([]int, error) {
+	return f.appendMinimalPath(buf, src, dst, rng)
+}
+
 // appendMinimalPath appends the minimal route's links to buf and returns
 // the extended slice. On error buf's visible contents are unchanged
 // (callers rewind by keeping their original slice header), which is what

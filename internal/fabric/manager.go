@@ -25,7 +25,8 @@ type Manager struct {
 
 	lastLinkUp   []bool
 	lastSwHealth []bool
-	stop         *sim.Event
+	k            *sim.Kernel
+	stop         sim.Event
 }
 
 // NewManager returns a manager for fabric f.
@@ -82,20 +83,22 @@ func (m *Manager) Sweep() int {
 	return changes
 }
 
+// sweepTick is the closure-free sweep body: the manager itself is the
+// event arg, so periodic rescheduling allocates nothing per tick.
+func sweepTick(arg any) {
+	m := arg.(*Manager)
+	m.Sweep()
+	m.stop = m.k.AfterCall(m.SweepInterval, sweepTick, m)
+}
+
 // Start schedules periodic sweeps on the simulation kernel.
 func (m *Manager) Start(k *sim.Kernel) {
-	var tick func()
-	tick = func() {
-		m.Sweep()
-		m.stop = k.After(m.SweepInterval, tick)
-	}
-	m.stop = k.After(m.SweepInterval, tick)
+	m.k = k
+	m.stop = k.AfterCall(m.SweepInterval, sweepTick, m)
 }
 
 // Stop cancels the periodic sweep.
 func (m *Manager) Stop() {
-	if m.stop != nil {
-		m.stop.Cancel()
-		m.stop = nil
-	}
+	m.stop.Cancel()
+	m.stop = sim.Event{}
 }

@@ -16,12 +16,17 @@ import (
 // answers "when does this message arrive" — with queueing delays emerging
 // from link occupancy. Used for latency-sensitive studies and for
 // driving app phases through the kernel.
+//
+// The hot path is allocation-free in steady state: per-message hop state
+// lives in a transport-owned pool, routes fill a reused buffer, and every
+// continuation goes through the kernel's closure-free AtCall path.
 type Transport struct {
 	K *sim.Kernel
 	F *fabric.Fabric
 	// links[i] serialises messages crossing fabric link i (lazily
-	// created).
-	links map[int]*sim.Resource
+	// created; the fabric's link set is fixed, so a flat slice replaces
+	// the old map lookup on every hop).
+	links []*sim.Resource
 	// Rng picks among parallel routes.
 	Rng *rand.Rand
 
@@ -29,6 +34,23 @@ type Transport struct {
 	Delivered int
 	// BytesMoved sums delivered payload.
 	BytesMoved units.Bytes
+
+	// pool recycles message hop state; the simulator is single-threaded,
+	// so a plain LIFO stack beats sync.Pool.
+	pool []*message
+}
+
+// message is the pooled per-message hop state: one instance carries a
+// message across all its hops and is recycled at delivery.
+type message struct {
+	t     *Transport
+	path  []int // reused backing; filled by AppendMinimalPath
+	i     int   // next hop index
+	b     units.Bytes
+	start units.Seconds
+	ser   units.Seconds // serialisation time of the link being acquired
+	res   *sim.Resource // resource of the link being acquired
+	done  func(units.Seconds)
 }
 
 // NewTransport builds a transport on kernel k over fabric f.
@@ -36,18 +58,44 @@ func NewTransport(k *sim.Kernel, f *fabric.Fabric) *Transport {
 	return &Transport{
 		K:     k,
 		F:     f,
-		links: map[int]*sim.Resource{},
+		links: make([]*sim.Resource, len(f.Links)),
 		Rng:   k.Stream("transport"),
 	}
 }
 
 func (t *Transport) resource(link int) *sim.Resource {
-	r, ok := t.links[link]
-	if !ok {
+	r := t.links[link]
+	if r == nil {
 		r = sim.NewResource(t.K, fmt.Sprintf("link-%d", link), 1)
 		t.links[link] = r
 	}
 	return r
+}
+
+// WarmLinks eagerly creates the serialisation resource for every fabric
+// link. Resources are otherwise created lazily on first traversal, which
+// is fine for most runs but shows up as allocations mid-measurement in
+// steady-state benchmarks and long soak simulations; warming moves that
+// cost to setup.
+func (t *Transport) WarmLinks() {
+	for id := range t.links {
+		t.resource(id)
+	}
+}
+
+func (t *Transport) getMessage() *message {
+	if n := len(t.pool); n > 0 {
+		m := t.pool[n-1]
+		t.pool = t.pool[:n-1]
+		return m
+	}
+	return &message{t: t}
+}
+
+func (t *Transport) putMessage(m *message) {
+	m.done = nil
+	m.res = nil
+	t.pool = append(t.pool, m)
 }
 
 // Send schedules a message of b bytes from endpoint src to dst over the
@@ -56,45 +104,65 @@ func (t *Transport) resource(link int) *sim.Resource {
 // between them. done (optional) runs at delivery with the end-to-end
 // time.
 func (t *Transport) Send(src, dst int, b units.Bytes, done func(units.Seconds)) error {
-	path, err := t.F.MinimalPath(src, dst, t.Rng)
+	m := t.getMessage()
+	path, err := t.F.AppendMinimalPath(m.path[:0], src, dst, t.Rng)
 	if err != nil {
+		t.putMessage(m)
 		return err
 	}
-	start := t.K.Now()
+	m.path = path
+	m.i = 0
+	m.b = b
+	m.start = t.K.Now()
+	m.done = done
 	// NIC and software overhead on the way in; the symmetric cost on
 	// the way out is added at delivery.
-	t.K.After(t.F.Cfg.EndpointLatency, func() {
-		t.hop(path, 0, b, start, done)
-	})
+	t.K.AfterCall(t.F.Cfg.EndpointLatency, msgHop, m)
 	return nil
 }
 
-// hop acquires the next link, holds it for the serialisation time, and
-// recurses. Cut-through forwarding: the head of the message moves on
-// after the switch latency, but the link stays busy for the full
-// serialisation, which is what creates backpressure under load.
-func (t *Transport) hop(path []int, i int, b units.Bytes, start units.Seconds, done func(units.Seconds)) {
-	if i == len(path) {
-		t.K.After(t.F.Cfg.EndpointLatency, func() {
-			t.Delivered++
-			t.BytesMoved += b
-			if done != nil {
-				done(t.K.Now() - start)
-			}
-		})
+// msgHop acquires the next link; once granted (msgGranted) the link is
+// held for the serialisation time while the head moves on. Cut-through
+// forwarding: the head of the message proceeds after the switch latency,
+// but the link stays busy for the full serialisation, which is what
+// creates backpressure under load.
+func msgHop(arg any) {
+	m := arg.(*message)
+	t := m.t
+	if m.i == len(m.path) {
+		t.K.AfterCall(t.F.Cfg.EndpointLatency, msgDeliver, m)
 		return
 	}
-	link := t.F.Links[path[i]]
-	res := t.resource(path[i])
-	res.Acquire(1, func() {
-		ser := units.Seconds(float64(b) / link.Cap)
-		// The link is busy for the serialisation time...
-		t.K.After(ser, func() { res.Release(1) })
-		// ...while the head proceeds after the switch traversal.
-		t.K.After(t.F.Cfg.SwitchLatency, func() {
-			t.hop(path, i+1, b, start, done)
-		})
-	})
+	id := m.path[m.i]
+	m.ser = units.Seconds(float64(m.b) / t.F.Links[id].Cap)
+	m.res = t.resource(id)
+	m.res.AcquireCall(1, msgGranted, m)
+}
+
+func msgGranted(arg any) {
+	m := arg.(*message)
+	k := m.t.K
+	// The link is busy for the serialisation time... (the resource
+	// pointer rides along as the event arg: by the time this fires the
+	// message may be several hops ahead).
+	k.AfterCall(m.ser, msgReleaseLink, m.res)
+	// ...while the head proceeds after the switch traversal.
+	m.i++
+	k.AfterCall(m.t.F.Cfg.SwitchLatency, msgHop, m)
+}
+
+func msgReleaseLink(arg any) { arg.(*sim.Resource).Release(1) }
+
+func msgDeliver(arg any) {
+	m := arg.(*message)
+	t := m.t
+	t.Delivered++
+	t.BytesMoved += m.b
+	done, elapsed := m.done, t.K.Now()-m.start
+	t.putMessage(m) // recycle before the callback: done may Send again
+	if done != nil {
+		done(elapsed)
+	}
 }
 
 // Ping measures one isolated round trip between two endpoints, the

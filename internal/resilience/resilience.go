@@ -117,13 +117,33 @@ func (m Model) Simulate(horizon units.Seconds, rng *rand.Rand) []Failure {
 	return out
 }
 
+// injector carries a simulated failure trace through the kernel's
+// closure-free scheduling path. The kernel dispatches in (time, seq)
+// order and the events are scheduled in slice order, so each firing
+// consumes the next trace entry: one cursor replaces a closure per
+// failure.
+type injector struct {
+	failures []Failure
+	next     int
+	handle   func(Failure)
+}
+
+func injectNext(arg any) {
+	in := arg.(*injector)
+	f := in.failures[in.next]
+	in.next++
+	in.handle(f)
+}
+
 // Inject schedules the failure trace onto a simulation kernel, invoking
-// handle for each event.
+// handle for each event. A year-long trace over Frontier's component
+// classes is tens of thousands of events; scheduling them costs two
+// allocations total (the trace itself and the shared cursor).
 func (m Model) Inject(k *sim.Kernel, horizon units.Seconds, rng *rand.Rand, handle func(Failure)) int {
 	failures := m.Simulate(horizon, rng)
-	for _, f := range failures {
-		f := f
-		k.At(f.At, func() { handle(f) })
+	in := &injector{failures: failures, handle: handle}
+	for i := range failures {
+		k.AtCall(failures[i].At, injectNext, in)
 	}
 	return len(failures)
 }

@@ -63,7 +63,7 @@ type Job struct {
 	// OnComplete, if set, runs when the job finishes (any final state).
 	OnComplete func(*Job)
 
-	endEvent *sim.Event
+	endEvent sim.Event
 }
 
 // GroupsSpanned reports how many dragonfly groups the allocation touches.
@@ -291,9 +291,7 @@ func (s *Scheduler) finish(j *Job, state JobState) {
 	if j.State != Running {
 		return
 	}
-	if j.endEvent != nil {
-		j.endEvent.Cancel()
-	}
+	j.endEvent.Cancel()
 	j.State = state
 	j.End = s.K.Now()
 	delete(s.running, j.ID)

@@ -8,7 +8,13 @@ type Resource struct {
 	name     string
 	capacity int
 	inUse    int
-	waiters  []waiter
+
+	// waiters[head:] is the FIFO wait queue. Entries pop by advancing
+	// head; the slice resets to its start whenever it drains, so the
+	// backing array is reused and steady-state queueing allocates
+	// nothing.
+	waiters []waiter
+	head    int
 
 	// Stats.
 	totalAcquired uint64
@@ -16,9 +22,14 @@ type Resource struct {
 	lastChange    Time
 }
 
+// waiter is one queued acquisition: either a closure (fn) or a
+// closure-free (cb, arg) pair, mirroring the kernel's two scheduling
+// paths.
 type waiter struct {
-	n  int
-	fn func()
+	n   int
+	fn  func()
+	cb  Callback
+	arg any
 }
 
 // NewResource creates a resource with the given concurrency capacity.
@@ -39,7 +50,7 @@ func (r *Resource) Capacity() int { return r.capacity }
 func (r *Resource) InUse() int { return r.inUse }
 
 // Queued returns the number of waiting acquisitions.
-func (r *Resource) Queued() int { return len(r.waiters) }
+func (r *Resource) Queued() int { return len(r.waiters) - r.head }
 
 // Acquire requests n units and calls fn once they are granted (possibly
 // immediately, before Acquire returns). fn must eventually Release(n).
@@ -47,12 +58,28 @@ func (r *Resource) Acquire(n int, fn func()) {
 	if n <= 0 || n > r.capacity {
 		panic("sim: invalid acquire count")
 	}
-	if r.inUse+n <= r.capacity && len(r.waiters) == 0 {
+	if r.inUse+n <= r.capacity && r.head == len(r.waiters) {
 		r.grant(n)
 		fn()
 		return
 	}
 	r.waiters = append(r.waiters, waiter{n: n, fn: fn})
+}
+
+// AcquireCall is the closure-free Acquire: cb(arg) runs once the units
+// are granted (possibly immediately, before AcquireCall returns), and
+// must eventually Release(n). Queue entries store the pair inline, so a
+// pooled caller pays no allocation per acquisition.
+func (r *Resource) AcquireCall(n int, cb Callback, arg any) {
+	if n <= 0 || n > r.capacity {
+		panic("sim: invalid acquire count")
+	}
+	if r.inUse+n <= r.capacity && r.head == len(r.waiters) {
+		r.grant(n)
+		cb(arg)
+		return
+	}
+	r.waiters = append(r.waiters, waiter{n: n, cb: cb, arg: arg})
 }
 
 // Release returns n units and wakes as many waiters as now fit, in FIFO
@@ -64,14 +91,24 @@ func (r *Resource) Release(n int) {
 	}
 	r.accrue()
 	r.inUse -= n
-	for len(r.waiters) > 0 {
-		w := r.waiters[0]
+	for r.head < len(r.waiters) {
+		w := &r.waiters[r.head]
 		if r.inUse+w.n > r.capacity {
 			break
 		}
-		r.waiters = r.waiters[1:]
-		r.grant(w.n)
-		w.fn()
+		grant, fn, cb, arg := w.n, w.fn, w.cb, w.arg
+		*w = waiter{} // drop references so captured state can be reclaimed
+		r.head++
+		if r.head == len(r.waiters) {
+			r.waiters = r.waiters[:0]
+			r.head = 0
+		}
+		r.grant(grant)
+		if cb != nil {
+			cb(arg)
+		} else {
+			fn()
+		}
 	}
 }
 

@@ -384,12 +384,203 @@ func TestCancelledEverySweepsLeaveNoGarbage(t *testing.T) {
 
 func TestCancelExecutedEventIsNoOp(t *testing.T) {
 	k := NewKernel(1)
-	var e *Event
-	e = k.After(1, func() {})
+	e := k.After(1, func() {})
 	k.After(2, func() {})
 	k.Run()
-	e.Cancel() // already executed: index is -1, nothing to remove
+	e.Cancel() // already executed: slot is freed, nothing to remove
 	if k.Pending() != 0 {
 		t.Errorf("Pending = %d, want 0", k.Pending())
+	}
+	if e.Cancelled() {
+		t.Error("Cancel after execution must not report Cancelled")
+	}
+}
+
+// Cancelling from inside a dispatching Run loop: a same-time event that
+// has not yet been popped is removed and never runs; the currently
+// executing event cancelling itself (already popped) is a no-op; and an
+// event that already ran cannot be cancelled retroactively.
+func TestCancelFromInsideDispatch(t *testing.T) {
+	k := NewKernel(1)
+	var ran []string
+	var first, second, third Event
+	first = k.At(5, func() {
+		ran = append(ran, "first")
+		first.Cancel()  // self: already popped and executing — no-op
+		second.Cancel() // same-time sibling, still queued: must not run
+	})
+	second = k.At(5, func() { ran = append(ran, "second") })
+	third = k.At(6, func() {
+		ran = append(ran, "third")
+		first.Cancel() // already executed — no-op
+	})
+	_ = third
+	k.Run()
+	if len(ran) != 2 || ran[0] != "first" || ran[1] != "third" {
+		t.Fatalf("ran = %v, want [first third]", ran)
+	}
+	if k.Executed() != 2 {
+		t.Errorf("Executed = %d, want 2", k.Executed())
+	}
+	if first.Cancelled() {
+		t.Error("self-cancel of a running event must be a no-op")
+	}
+	if !second.Cancelled() {
+		t.Error("queued same-time sibling should report Cancelled")
+	}
+}
+
+// A stale handle whose arena slot has been recycled must go inert: its
+// Cancel and Cancelled cannot touch the slot's new occupant. The free
+// list is LIFO, so the slot vacated by a dispatched or cancelled event is
+// exactly the one the next schedule reuses.
+func TestStaleHandleAfterArenaRecycling(t *testing.T) {
+	k := NewKernel(1)
+	stale := k.After(1, func() {})
+	k.Run() // dispatches; slot returns to the free list
+	ran := false
+	fresh := k.After(1, func() { ran = true }) // recycles the same slot
+	if stale.Cancelled() {
+		t.Error("stale handle reports Cancelled after recycling")
+	}
+	stale.Cancel() // must not cancel the new occupant
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d after stale Cancel, want 1", k.Pending())
+	}
+	k.Run()
+	if !ran {
+		t.Fatal("stale Cancel killed the slot's new occupant")
+	}
+	if fresh.Cancelled() {
+		t.Error("new occupant reports Cancelled")
+	}
+
+	// Same via the cancellation path: cancel, recycle, poke the stale
+	// handle again.
+	victim := k.After(1, func() {})
+	victim.Cancel()
+	if !victim.Cancelled() {
+		t.Fatal("Cancelled should be true before the slot is recycled")
+	}
+	ran = false
+	k.After(1, func() { ran = true }) // recycles victim's slot
+	if victim.Cancelled() {
+		t.Error("stale cancelled handle still reports Cancelled after recycling")
+	}
+	victim.Cancel()
+	k.Run()
+	if !ran {
+		t.Fatal("stale Cancel killed the recycled occupant")
+	}
+}
+
+// The zero Event is inert.
+func TestZeroEventHandle(t *testing.T) {
+	var e Event
+	e.Cancel()
+	if e.Cancelled() {
+		t.Error("zero Event reports Cancelled")
+	}
+	if e.Time() != 0 {
+		t.Errorf("zero Event Time = %v, want 0", e.Time())
+	}
+}
+
+// Stop from inside a RunUntil callback must leave the clock at that
+// event's time instead of jumping ahead to the horizon, and resuming
+// must pick up the remaining events.
+func TestRunUntilStopLeavesClockAtEventTime(t *testing.T) {
+	k := NewKernel(1)
+	var ran []Time
+	k.At(5, func() {
+		ran = append(ran, k.Now())
+		k.Stop()
+	})
+	k.At(7, func() { ran = append(ran, k.Now()) })
+	k.RunUntil(10)
+	if k.Now() != 5 {
+		t.Fatalf("Now after Stop inside RunUntil = %v, want 5 (the event's time)", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1 (the t=7 event stays queued)", k.Pending())
+	}
+	k.RunUntil(10)
+	if len(ran) != 2 || ran[1] != 7 {
+		t.Fatalf("ran = %v, want [5 7]", ran)
+	}
+	if k.Now() != 10 {
+		t.Errorf("Now after resumed RunUntil = %v, want 10", k.Now())
+	}
+}
+
+// RunUntil must not count cancelled events: only dispatched callbacks
+// increment Executed, and the calendar holds nothing afterwards.
+func TestRunUntilSkipsCancelledWithoutCounting(t *testing.T) {
+	k := NewKernel(1)
+	ran := 0
+	var es []Event
+	for i := 1; i <= 6; i++ {
+		es = append(es, k.At(Time(i), func() { ran++ }))
+	}
+	es[1].Cancel()
+	es[3].Cancel()
+	es[5].Cancel()
+	k.RunUntil(10)
+	if ran != 3 {
+		t.Errorf("ran = %d, want 3", ran)
+	}
+	if k.Executed() != 3 {
+		t.Errorf("Executed = %d, want 3 (cancelled events must not count)", k.Executed())
+	}
+	if k.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", k.Pending())
+	}
+}
+
+// FIFO fairness across both acquisition paths: grants happen strictly in
+// arrival order regardless of request size or whether the waiter queued
+// through Acquire or AcquireCall.
+func TestResourceFIFOFairnessMixedPaths(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, "mixed", 4)
+	var order []int
+	grab := func(id, n int) {
+		r.Acquire(n, func() { order = append(order, id) })
+	}
+	type req struct{ id, n int }
+	grabCall := func(id, n int) {
+		rq := &req{id, n}
+		r.AcquireCall(n, func(arg any) { order = append(order, arg.(*req).id) }, rq)
+	}
+	r.Acquire(4, func() {}) // saturate
+	grab(0, 2)
+	grabCall(1, 3)
+	grab(2, 1)
+	grabCall(3, 4)
+	grab(4, 1)
+	if r.Queued() != 5 {
+		t.Fatalf("Queued = %d, want 5", r.Queued())
+	}
+	r.Release(4)
+	// 0 (2 units) grants; 1 needs 3, only 2 free: everything behind waits.
+	if len(order) != 1 || order[0] != 0 {
+		t.Fatalf("order after first release = %v, want [0]", order)
+	}
+	r.Release(2)
+	r.Release(3)
+	r.Release(1)
+	r.Release(4)
+	r.Release(1)
+	want := []int{0, 1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order = %v, want strict FIFO %v", order, want)
+		}
+	}
+	if r.InUse() != 0 || r.Queued() != 0 {
+		t.Errorf("InUse = %d, Queued = %d after drain, want 0, 0", r.InUse(), r.Queued())
 	}
 }

@@ -86,7 +86,8 @@ type HPCM struct {
 	Failovers   int
 	Discoveries int
 
-	discoverEvt *sim.Event
+	discoverEvt  sim.Event
+	discoverPoll func() map[string]string
 }
 
 // Config sizes the management plane (Frontier: 1 admin, 21 leaders, 12
@@ -258,25 +259,28 @@ func (h *HPCM) RecordHardware(component, state string) {
 	}
 }
 
+// discoveryTick is the closure-free sweep body: the HPCM itself is the
+// event arg, so the periodic rescheduling allocates nothing per tick.
+func discoveryTick(arg any) {
+	h := arg.(*HPCM)
+	for c, s := range h.discoverPoll() {
+		h.RecordHardware(c, s)
+	}
+	h.discoverEvt = h.K.AfterCall(h.DiscoverInterval, discoveryTick, h)
+}
+
 // StartDiscovery schedules the periodic chassis sweep; poll is invoked
 // each interval and returns observations to record.
 func (h *HPCM) StartDiscovery(poll func() map[string]string) {
-	var tick func()
-	tick = func() {
-		for c, s := range poll() {
-			h.RecordHardware(c, s)
-		}
-		h.discoverEvt = h.K.After(h.DiscoverInterval, tick)
-	}
-	h.discoverEvt = h.K.After(h.DiscoverInterval, tick)
+	h.discoverPoll = poll
+	h.discoverEvt = h.K.AfterCall(h.DiscoverInterval, discoveryTick, h)
 }
 
 // StopDiscovery cancels the sweep.
 func (h *HPCM) StopDiscovery() {
-	if h.discoverEvt != nil {
-		h.discoverEvt.Cancel()
-		h.discoverEvt = nil
-	}
+	h.discoverEvt.Cancel()
+	h.discoverEvt = sim.Event{}
+	h.discoverPoll = nil
 }
 
 // ClientsOf lists the compute nodes served by the given leader id, in
