@@ -1,0 +1,151 @@
+package campaign
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"frontiersim/internal/machine"
+)
+
+func TestParseSweep(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Sweep
+		wantErr string
+	}{
+		{in: "linkRate: 100..200 step 25", want: Sweep{Field: "linkRate", From: 100, To: 200, Step: 25}},
+		{in: "topology.linkRate: 1.25e10..2.5e10 step 6.25e9", want: Sweep{Field: "topology.linkRate", From: 1.25e10, To: 2.5e10, Step: 6.25e9}},
+		{in: " endpointEfficiency : 0.5..0.9 step 0.2 ", want: Sweep{Field: "endpointEfficiency", From: 0.5, To: 0.9, Step: 0.2}},
+		{in: "no colon here", wantErr: "want"},
+		{in: "f: 1..2", wantErr: "step"},
+		{in: "f: 1to2 step 1", wantErr: "range"},
+		{in: "f: x..2 step 1", wantErr: "bad from"},
+		{in: "f: 1..y step 1", wantErr: "bad to"},
+		{in: "f: 1..2 step z", wantErr: "bad step"},
+		{in: "f: 1..2 step 0", wantErr: "step must be positive"},
+		{in: "f: 1..2 step -1", wantErr: "step must be positive"},
+		{in: "f: 5..2 step 1", wantErr: "below from"},
+		{in: ": 1..2 step 1", wantErr: "empty field"},
+	}
+	for _, c := range cases {
+		got, err := ParseSweep(c.in)
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("ParseSweep(%q) err = %v, want containing %q", c.in, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSweep(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSweep(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSweepValues(t *testing.T) {
+	cases := []struct {
+		sw   Sweep
+		want []float64
+	}{
+		{Sweep{Field: "f", From: 100, To: 200, Step: 25}, []float64{100, 125, 150, 175, 200}},
+		{Sweep{Field: "f", From: 1, To: 1, Step: 1}, []float64{1}},
+		{Sweep{Field: "f", From: 0.1, To: 0.3, Step: 0.1}, []float64{0.1, 0.2, 0.3}}, // fp accumulation must not drop the bound
+		{Sweep{Field: "f", From: 1, To: 2.5, Step: 1}, []float64{1, 2}},
+	}
+	for _, c := range cases {
+		got := c.sw.Values()
+		if len(got) != len(c.want) {
+			t.Errorf("%+v.Values() = %v, want %v", c.sw, got, c.want)
+			continue
+		}
+		for i := range got {
+			if math.Abs(got[i]-c.want[i]) > 1e-9*math.Max(1, math.Abs(c.want[i])) {
+				t.Errorf("%+v.Values()[%d] = %v, want %v", c.sw, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestSweepApply(t *testing.T) {
+	spec := machine.Frontier()
+	half := float64(spec.Topology.LinkRate) / 2
+
+	// Bare leaf name resolves to the unique numeric field.
+	sw := Sweep{Field: "linkRate", From: half, To: half, Step: 1}
+	got, err := sw.Apply(spec, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(got.Topology.LinkRate) != half {
+		t.Fatalf("linkRate = %v, want %v", got.Topology.LinkRate, half)
+	}
+	if got.Name != spec.Name || got.Nodes() != spec.Nodes() {
+		t.Fatal("Apply must only change the swept field")
+	}
+	// The original is untouched.
+	if spec.Topology.LinkRate == got.Topology.LinkRate {
+		t.Fatal("Apply mutated its input spec")
+	}
+
+	// Dotted path form.
+	if _, err := (Sweep{Field: "topology.linkRate"}).Apply(spec, half); err != nil {
+		t.Fatalf("dotted path: %v", err)
+	}
+
+	// Integer fields accept integral values and reject fractional ones.
+	if got, err := (Sweep{Field: "computeGroups"}).Apply(spec, 37); err != nil || got.Topology.ComputeGroups != 37 {
+		t.Fatalf("computeGroups=37: %v (groups=%d)", err, got.Topology.ComputeGroups)
+	}
+	if _, err := (Sweep{Field: "computeGroups"}).Apply(spec, 37.5); err == nil {
+		t.Fatal("fractional value into an integer field must fail")
+	}
+
+	// Out-of-range values surface Validate's error, naming the field.
+	if _, err := (Sweep{Field: "linkRate"}).Apply(spec, 0); err == nil || !strings.Contains(err.Error(), "link rate") {
+		t.Fatalf("linkRate=0 err = %v, want a link-rate validation error", err)
+	}
+
+	// Unknown fields name the vocabulary.
+	_, err = (Sweep{Field: "warpDrive"}).Apply(spec, 1)
+	if err == nil || !strings.Contains(err.Error(), "numeric fields") {
+		t.Fatalf("unknown field err = %v, want the numeric-field vocabulary", err)
+	}
+
+	// Ambiguous bare names are rejected with the candidate paths.
+	_, err = (Sweep{Field: "devicesPerNode"}).Apply(spec, 4)
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("ambiguous field err = %v, want ambiguity error", err)
+	}
+
+	// Non-numeric fields are rejected.
+	_, err = (Sweep{Field: "topology.kind"}).Apply(spec, 1)
+	if err == nil || !strings.Contains(err.Error(), "not numeric") {
+		t.Fatalf("non-numeric field err = %v", err)
+	}
+}
+
+func TestSpecNumericFields(t *testing.T) {
+	fields, err := SpecNumericFields(machine.Frontier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"topology.linkRate", "topology.computeGroups", "node.memBW", "hpl.hbmPerGCD"}
+	have := map[string]bool{}
+	for _, f := range fields {
+		have[f] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("SpecNumericFields missing %q (got %d fields)", w, len(fields))
+		}
+	}
+	for i := 1; i < len(fields); i++ {
+		if fields[i-1] > fields[i] {
+			t.Fatalf("fields not sorted: %q before %q", fields[i-1], fields[i])
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package campaign
+
+import "runtime/debug"
+
+// CodeVersion identifies the simulator build for cache keying: results
+// are pure functions of (spec, seed, experiment, code), so a new build
+// must never serve bytes computed by an old one. Prefer the embedded VCS
+// revision; a locally-modified tree gets a "-dirty" suffix (such builds
+// only ever hit their own cache entries); fall back to "dev" when build
+// info is unavailable (go run, some test binaries).
+func CodeVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	var rev, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return "dev"
+	}
+	return rev + modified
+}

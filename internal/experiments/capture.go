@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"bytes"
+
+	"frontiersim/internal/harness"
+)
+
+// Capture runs one experiment and returns its rendered table as bytes
+// instead of writing to stdout — the form the campaign server caches
+// and serves. The per-experiment seed is derived from (o.Seed, id)
+// exactly as RunAll derives it, so the captured bytes are identical to
+// what `frontier-sim run <id>` prints for the same root seed, machine
+// and quick setting: a pure function of (spec, root seed, id, code),
+// which is what makes the bytes content-addressable.
+func Capture(id string, o Options, markdown bool) ([]byte, error) {
+	r, err := ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	opts := o
+	opts.Seed = harness.DeriveSeed(o.Seed, r.ID)
+	t, err := r.Run(opts)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if markdown {
+		t.Markdown(&buf)
+	} else {
+		t.Render(&buf)
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestCaptureMatchesRunAll pins the campaign server's contract: the
+// captured bytes for an experiment equal what the CLI's run path renders
+// for the same root seed, because both derive the per-experiment seed
+// from (root seed, id).
+func TestCaptureMatchesRunAll(t *testing.T) {
+	o := Options{Quick: true, Seed: 42}
+	r, err := ByID("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunAll(context.Background(), []Runner{r}, o, RunConfig{Jobs: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	results[0].Table.Render(&want)
+
+	got, err := Capture("table2", o, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("Capture output differs from RunAll rendering:\n--- capture ---\n%s--- runall ---\n%s", got, want.Bytes())
+	}
+}
+
+func TestCaptureMarkdown(t *testing.T) {
+	got, err := Capture("table2", Options{Quick: true, Seed: 42}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(got), "### table2") {
+		t.Fatalf("markdown capture starts %q, want a ### heading", string(got[:min(40, len(got))]))
+	}
+}
+
+func TestCaptureUnknownID(t *testing.T) {
+	if _, err := Capture("fig99", Options{}, false); err == nil || !strings.Contains(err.Error(), "fig99") {
+		t.Fatalf("err = %v, want unknown-id naming fig99", err)
+	}
+}

@@ -1,0 +1,20 @@
+package machine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Hash returns the canonical content hash of a spec: the SHA-256 of its
+// Dump rendering, hex-encoded. Dump is deterministic (fixed field order,
+// fixed indentation, float64 rates that round-trip exactly), so two
+// specs hash equal exactly when Dump would render them byte-identically
+// — the property the campaign result cache keys on.
+func Hash(s Spec) (string, error) {
+	b, err := Dump(s)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,134 @@
+package machine
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSpecFile drops content into a temp .json file and returns its path.
+func writeSpecFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestResolveErrorPaths(t *testing.T) {
+	validJSON, err := Dump(Frontier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	missingPath := filepath.Join(t.TempDir(), "no-such-spec.json")
+	badJSONPath := writeSpecFile(t, "bad.json", `{"name": "broken", `)
+	unknownFieldPath := writeSpecFile(t, "typo.json", `{"name": "typo", "topolgy": {}}`)
+	invalidSpecPath := writeSpecFile(t, "invalid.json", `{"name": "hollow", "topology": {"kind": "dragonfly"}}`)
+	validPath := writeSpecFile(t, "frontier.json", string(validJSON))
+
+	cases := []struct {
+		name string
+		arg  string
+		// wantErr substrings must all appear in the error; empty means
+		// the resolve must succeed.
+		wantErr  []string
+		wantName string
+	}{
+		{name: "builtin name", arg: "frontier", wantName: "frontier"},
+		{name: "valid spec file", arg: validPath, wantName: "frontier"},
+		{
+			name:    "unknown name",
+			arg:     "roadrunner",
+			wantErr: []string{`unknown machine "roadrunner"`, "frontier", "JSON spec file"},
+		},
+		{
+			name:    "missing file",
+			arg:     missingPath,
+			wantErr: []string{"no-such-spec.json"},
+		},
+		{
+			name:    "invalid JSON",
+			arg:     badJSONPath,
+			wantErr: []string{"parsing", "bad.json"},
+		},
+		{
+			name:    "unknown field",
+			arg:     unknownFieldPath,
+			wantErr: []string{"typo.json", "topolgy"},
+		},
+		{
+			name:    "spec fails validation",
+			arg:     invalidSpecPath,
+			wantErr: []string{"invalid.json", "compute group"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s, err := Resolve(c.arg)
+			if len(c.wantErr) == 0 {
+				if err != nil {
+					t.Fatalf("Resolve(%q): %v", c.arg, err)
+				}
+				if s.Name != c.wantName {
+					t.Fatalf("Resolve(%q).Name = %q, want %q", c.arg, s.Name, c.wantName)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Resolve(%q) succeeded, want error mentioning %v", c.arg, c.wantErr)
+			}
+			for _, want := range c.wantErr {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("Resolve(%q) error = %q, want it to name %q", c.arg, err, want)
+				}
+			}
+		})
+	}
+}
+
+func TestHashCanonical(t *testing.T) {
+	h1, err := Hash(Frontier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Hash(Frontier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("two fresh copies of the same spec hashed differently")
+	}
+	if len(h1) != 64 {
+		t.Fatalf("hash %q is not hex SHA-256", h1)
+	}
+
+	variant := Frontier()
+	variant.Topology.LinkRate /= 2
+	hv, err := Hash(variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv == h1 {
+		t.Fatal("one-field change did not change the hash")
+	}
+
+	// Dump → Load → Hash round-trips to the same address.
+	b, err := Dump(variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeSpecFile(t, "variant.json", string(b))
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hl, err := Hash(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hl != hv {
+		t.Fatal("hash changed across a Dump/Load round-trip")
+	}
+}
