@@ -144,3 +144,42 @@ func TestParseLineBenchmemWithExtraMetric(t *testing.T) {
 		t.Errorf("metrics = %v", b.Metrics)
 	}
 }
+
+func TestParseLinePromotesEventsPerSec(t *testing.T) {
+	b, ok := parseLine("BenchmarkTransportStormSharded/shards=8-8  \t      92\t  12706269 ns/op\t   4148339 events/sec\t  290192 B/op\t    1918 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if b.Name != "BenchmarkTransportStormSharded/shards=8" {
+		t.Errorf("name = %q (sub-benchmark path must survive, -procs suffix must not)", b.Name)
+	}
+	if b.EventsPerSec != 4148339 {
+		t.Errorf("events_per_sec = %g, want 4148339", b.EventsPerSec)
+	}
+	if b.Metrics["events/sec"] != 4148339 {
+		t.Error("events/sec must stay in Metrics for pre-field report readers")
+	}
+}
+
+func TestEventsPerSecFallsBackToMetrics(t *testing.T) {
+	// A report archived before the field existed has the value only in
+	// Metrics; the accessor must still find it.
+	old := Benchmark{Name: "BenchmarkTransportStorm", Metrics: map[string]float64{"events/sec": 123}}
+	if got := old.eventsPerSec(); got != 123 {
+		t.Errorf("eventsPerSec() = %g, want 123 via Metrics fallback", got)
+	}
+}
+
+func TestCompareReportsEventsPerSecWithoutGating(t *testing.T) {
+	// Halved throughput is reported but must not fail the comparison on
+	// its own — that's what the ns/op gate is for. Sub-benchmarks gated
+	// by name prefix still apply, so use an ungated name here.
+	dir := t.TempDir()
+	oldRep := writeReport(t, dir, "old",
+		Benchmark{Name: "BenchmarkResiliencyYearSharded/shards=8", EventsPerSec: 4000000})
+	newRep := writeReport(t, dir, "new",
+		Benchmark{Name: "BenchmarkResiliencyYearSharded/shards=8", EventsPerSec: 2000000})
+	if got := runCompare([]string{oldRep, newRep}, 0.20); got != 0 {
+		t.Errorf("events/sec drop alone: exit %d, want 0 (reported, not gated)", got)
+	}
+}

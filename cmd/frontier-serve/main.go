@@ -41,6 +41,7 @@ func run() int {
 	cacheBytes := flag.Int64("cache-bytes", 256<<20, "in-memory result-cache budget in bytes (0 = unbounded)")
 	cacheDir := flag.String("cache-dir", "", "persist results to this directory (survives restarts; empty = memory only)")
 	maxSweep := flag.Int("max-sweep", 256, "max variants in one sweep request")
+	shards := flag.Int("shards", 0, "kernel worker shards per simulation (0 or 1 = one worker; results are identical at any value)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "frontier-serve: unexpected arguments %v\n", flag.Args())
@@ -53,6 +54,7 @@ func run() int {
 		CacheBytes:       *cacheBytes,
 		CacheDir:         *cacheDir,
 		MaxSweepVariants: *maxSweep,
+		Shards:           *shards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "frontier-serve:", err)

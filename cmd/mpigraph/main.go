@@ -36,9 +36,13 @@ func run() int {
 	jobs := flag.Int("jobs", 0, "concurrent shift workers (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	mutexprofile := flag.String("mutexprofile", "", "write a contended-mutex profile to this file on exit")
+	blockprofile := flag.String("blockprofile", "", "write a goroutine-blocking profile to this file on exit")
 	flag.Parse()
 
-	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	stop, err := profiling.StartConfig(profiling.Config{
+		CPU: *cpuprofile, Mem: *memprofile, Mutex: *mutexprofile, Block: *blockprofile,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpigraph:", err)
 		return 1

@@ -24,6 +24,7 @@ import (
 	"frontiersim/internal/experiments"
 	"frontiersim/internal/harness"
 	"frontiersim/internal/machine"
+	"frontiersim/internal/sim"
 )
 
 // Config sizes a server.
@@ -39,6 +40,13 @@ type Config struct {
 	CodeVersion string
 	// MaxSweepVariants caps one sweep's fan-out (<=0 means 256).
 	MaxSweepVariants int
+	// Shards is the worker count for sharded-kernel experiments inside
+	// each simulation (0 or 1 = one worker). The sharded kernel's
+	// determinism contract makes results byte-identical at any value, so
+	// Shards is a host-sizing knob like Jobs — it deliberately does NOT
+	// enter the cache key, and cached results are shared between servers
+	// configured with different shard counts.
+	Shards int
 }
 
 // Server is the campaign service. Build with New, serve Handler.
@@ -48,6 +56,7 @@ type Server struct {
 	jobs    *jobStore
 	version string
 	maxVars int
+	shards  int
 	started time.Time
 }
 
@@ -71,6 +80,7 @@ func New(cfg Config) (*Server, error) {
 		jobs:    newJobStore(),
 		version: version,
 		maxVars: maxVars,
+		shards:  cfg.Shards,
 		started: time.Now(),
 	}, nil
 }
@@ -128,7 +138,11 @@ type resolved struct {
 	exp      string
 	quick    bool
 	markdown bool
-	key      cache.Key
+	// shards is the server's kernel-worker setting, carried along for
+	// options() but excluded from key: shard count never changes result
+	// bytes, so including it would only fragment the cache.
+	shards int
+	key    cache.Key
 }
 
 func (s *Server) resolve(req JobRequest) (resolved, error) {
@@ -171,6 +185,7 @@ func (s *Server) resolve(req JobRequest) (resolved, error) {
 	}
 	r.quick = req.Quick
 	r.markdown = req.Markdown
+	r.shards = s.shards
 	r.key = cache.ResultKey(cache.KeyInputs{
 		SpecJSON:    specJSON,
 		Seed:        r.seed,
@@ -185,7 +200,7 @@ func (s *Server) resolve(req JobRequest) (resolved, error) {
 // options builds the experiment options for a resolved request.
 func (r resolved) options() experiments.Options {
 	spec := r.spec
-	return experiments.Options{Quick: r.quick, Seed: r.seed, Machine: &spec}
+	return experiments.Options{Quick: r.quick, Seed: r.seed, Machine: &spec, Shards: r.shards}
 }
 
 // runCached is the one compute path every endpoint shares: at most one
@@ -264,11 +279,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, j := range jobs {
 		counts[j.handle.State()]++
 	}
+	shards := s.shards
+	if shards < 1 {
+		shards = 1
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"cache":         s.cache.Stats(),
-		"jobs":          counts,
-		"jobsTotal":     len(jobs),
-		"workers":       s.pool.Workers(),
+		"cache":     s.cache.Stats(),
+		"jobs":      counts,
+		"jobsTotal": len(jobs),
+		"workers":   s.pool.Workers(),
+		// Per-shard executed-event counters from the sharded kernel,
+		// accumulated process-wide across every simulation this server
+		// has run (flushed at window barriers, so they may trail a run in
+		// flight). An even spread means the group-to-shard assignment is
+		// balancing work; a lopsided one means a few LPs dominate.
+		"sharding": map[string]any{
+			"shards":         shards,
+			"executedEvents": sim.ShardedExecuted(),
+		},
 		"codeVersion":   s.version,
 		"uptimeSeconds": time.Since(s.started).Seconds(),
 	})

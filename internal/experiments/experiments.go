@@ -28,6 +28,13 @@ type Options struct {
 	// application tables' named platforms — stay canonical regardless,
 	// since their paper values are tied to those specific systems.
 	Machine *machine.Spec
+	// Shards is the worker count for experiments built on the sharded
+	// event kernel (sim.NewSharded): 0 or 1 runs the windowed engine
+	// inline on one goroutine. The determinism contract guarantees
+	// byte-identical tables at any value, so Shards — like Quick's jobs
+	// sibling on the CLI — is purely a speed knob and never enters
+	// result content or the campaign cache key.
+	Shards int
 }
 
 // machine returns the spec of the machine under test.
@@ -83,6 +90,7 @@ func Registry() []Runner {
 		{"ext-operations", "Extension: a simulated week of operations", ExtOperations, 0.4},
 		{"ext-inventory", "Extension: dragonfly vs Clos ports and cables", ExtInventory, 0.1},
 		{"ext-miniapps", "Extension: real kernels validated + roofline-predicted", ExtMiniapps, 0.1},
+		{"ext-sharded", "Extension: sharded parallel kernel (per-group LPs, conservative lookahead)", ExtSharded, 0.3},
 	}
 }
 

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+
+	"frontiersim/internal/fabric"
+	"frontiersim/internal/network"
+	"frontiersim/internal/report"
+	"frontiersim/internal/resilience"
+	"frontiersim/internal/sim"
+	"frontiersim/internal/sysmgmt"
+	"frontiersim/internal/units"
+)
+
+// shardedStorm drives one compute group's share of the all-to-all
+// message storm. It runs as the group's t=0 event, so source selection,
+// Send calls, and the per-LP stream all stay on the owning LP.
+type shardedStorm struct {
+	tr       *network.ShardedTransport
+	lp       *sim.LP
+	sources  []int // this group's endpoints
+	targets  int   // compute endpoints form the destination pool
+	messages int
+	size     units.Bytes
+	count    []int     // per-destination-LP deliveries (single-writer by index)
+	latency  []float64 // per-destination-LP summed latency
+}
+
+func shardedStormKick(arg any) {
+	s := arg.(*shardedStorm)
+	r := s.lp.Stream("storm")
+	for i := 0; i < s.messages; i++ {
+		src := s.sources[r.Intn(len(s.sources))]
+		dst := r.Intn(s.targets)
+		for dst == src {
+			dst = r.Intn(s.targets)
+		}
+		lp := s.tr.F.EndpointLP(dst)
+		err := s.tr.Send(src, dst, s.size, func(elapsed units.Seconds) {
+			// Runs on the destination LP; indexing by that LP keeps the
+			// shared slices single-writer.
+			s.count[lp]++
+			s.latency[lp] += float64(elapsed)
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+}
+
+// ExtSharded exercises the sharded parallel event kernel end to end:
+// phase 1 runs a cross-group message storm over the dragonfly transport
+// while the HPCM management plane sweeps discovery on its own logical
+// process; phase 2 injects a year of component failures across a static
+// per-group partition. Every reported row is shard-invariant by the
+// kernel's determinism contract — Options.Shards changes wall time, not
+// one byte of this table.
+func ExtSharded(o Options) (*report.Table, error) {
+	m := o.machine()
+	f, err := m.NewFabric()
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{ID: "ext-sharded", Title: "Sharded parallel kernel (per-group LPs, conservative lookahead)"}
+
+	// Phase 1: transport storm + management plane on one sharded kernel.
+	// The fabric is the partition: one LP per dragonfly group, lookahead
+	// bounded by the minimum inter-group latency (one switch traversal).
+	sk := sim.NewSharded(o.Seed, f, o.Shards)
+	t.AddInfo("partition", fmt.Sprintf("%d group LPs, lookahead %v", sk.NumLPs(), sk.Lookahead()),
+		"per dragonfly group; lookahead = min inter-group latency")
+
+	tr := network.NewShardedTransport(sk, f)
+	tr.WarmLinks()
+	nlp := sk.NumLPs()
+	count := make([]int, nlp)
+	latency := make([]float64, nlp)
+	messages := 48
+	if o.Quick {
+		messages = 8
+	}
+	kicks := 0
+	for g := 0; g < nlp; g++ {
+		if f.GroupClassOf(g) != fabric.ComputeGroup {
+			continue
+		}
+		var sources []int
+		for _, sw := range f.GroupSwitches(g) {
+			for e := 0; e < f.Cfg.EndpointsPerSwitch; e++ {
+				sources = append(sources, sw*f.Cfg.EndpointsPerSwitch+e)
+			}
+		}
+		lp := sk.LP(g)
+		s := &shardedStorm{
+			tr: tr, lp: lp, sources: sources,
+			targets: f.Cfg.ComputeEndpoints(), messages: messages,
+			size: 64 * units.KiB, count: count, latency: latency,
+		}
+		lp.K.AtCall(0, shardedStormKick, s)
+		kicks++
+	}
+
+	// The management plane lives on the last group's LP (the mgmt group
+	// on Frontier); its discovery daemon ticks across window barriers.
+	mgmtCfg, err := m.MgmtConfig()
+	if err != nil {
+		return nil, err
+	}
+	mgmtLP := sk.LP(nlp - 1)
+	h, err := sysmgmt.NewOnLP(mgmtLP, mgmtCfg)
+	if err != nil {
+		return nil, err
+	}
+	h.DiscoverInterval = 0.05
+	sweeps := 0
+	h.StartDiscovery(func() map[string]string {
+		sweeps++
+		return map[string]string{fmt.Sprintf("chassis-%d", sweeps): "present"}
+	})
+	sk.RunUntil(1.0)
+	h.StopDiscovery()
+
+	delivered, totalLat := 0, 0.0
+	for lp := 0; lp < nlp; lp++ {
+		delivered += count[lp]
+		totalLat += latency[lp]
+	}
+	t.AddInfo("storm delivered", fmt.Sprintf("%d msgs, %v", delivered, units.Bytes(delivered)*64*units.KiB),
+		fmt.Sprintf("%d compute groups x %d sends, 64 KiB each", kicks, messages))
+	if delivered != tr.Delivered() {
+		return nil, fmt.Errorf("ext-sharded: per-LP counts sum to %d, transport reports %d", delivered, tr.Delivered())
+	}
+	if delivered > 0 {
+		t.AddInfo("mean storm latency", fmt.Sprintf("%v", units.Seconds(totalLat/float64(delivered))),
+			"endpoint to endpoint through the dragonfly")
+	}
+	t.AddInfo("discovery sweeps", fmt.Sprintf("%d sweeps, %d inventory items", sweeps, len(h.Inventory)),
+		"HPCM daemon on the mgmt group's LP")
+	t.AddInfo("events executed (storm)", fmt.Sprintf("%d", sk.Executed()), "summed across logical processes")
+
+	// Phase 2: a year of component failures across a static partition.
+	// Failure injection has no cross-LP events, so one window covers the
+	// whole horizon and the trace work parallelises across groups.
+	horizon := 365 * units.Day
+	if o.Quick {
+		horizon = 30 * units.Day
+	}
+	rm, err := m.ResilienceModel()
+	if err != nil {
+		return nil, err
+	}
+	sk2 := sim.NewSharded(o.Seed, sim.StaticPartition{LPs: f.NumLPs(), Bound: horizon}, o.Shards)
+	interrupts := make([]int, sk2.NumLPs())
+	inj := rm.InjectSharded(sk2, horizon, func(lp int, fl resilience.Failure) {
+		if fl.Interrupting {
+			interrupts[lp]++
+		}
+	})
+	sk2.RunUntil(horizon)
+	ni := 0
+	for _, c := range interrupts {
+		ni += c
+	}
+	t.AddInfo("failure horizon", fmt.Sprintf("%v", horizon), "populations split across group LPs")
+	t.AddInfo("failures injected", fmt.Sprintf("%d (%d interrupting)", inj.Failures(), ni), "")
+	if ni > 0 {
+		t.AddInfo("measured MTTI", fmt.Sprintf("%v (analytic %v)", horizon/units.Seconds(ni), rm.SystemMTTI()),
+			"merged per-LP Poisson processes preserve the machine rate")
+	}
+	return t, nil
+}

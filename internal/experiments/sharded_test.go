@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExtShardedInvariantAcrossShardCounts pins the experiment's core
+// contract: Options.Shards is a speed knob, never a result input. The
+// rendered table must be byte-identical at any worker count.
+func TestExtShardedInvariantAcrossShardCounts(t *testing.T) {
+	run := func(shards int) string {
+		tb, err := ExtSharded(Options{Quick: true, Seed: 42, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		tb.Render(&b)
+		return b.String()
+	}
+	ref := run(1)
+	if !strings.Contains(ref, "storm delivered") || !strings.Contains(ref, "failures injected") {
+		t.Fatalf("ext-sharded table missing expected rows:\n%s", ref)
+	}
+	for _, shards := range []int{2, 8} {
+		if got := run(shards); got != ref {
+			t.Errorf("ext-sharded output diverges at shards=%d:\n--- shards=1 ---\n%s\n--- shards=%d ---\n%s",
+				shards, ref, shards, got)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package fabric
+
+import "frontiersim/internal/units"
+
+// The dragonfly is the natural partition for parallel simulation: one
+// logical process per group. Every interaction that crosses groups rides
+// a global link whose head must traverse a switch, so the switch
+// traversal latency — derived from machine.Spec via Config — is a
+// static lower bound on cross-LP event delay: the conservative lookahead
+// that sizes the sharded kernel's windows. Fabric implements
+// sim.Partition structurally (sim.Time = units.Seconds), so a built
+// fabric plugs straight into sim.NewSharded.
+
+// NumLPs implements sim.Partition: one logical process per dragonfly
+// group. Non-dragonfly fabrics report a single LP, which selects the
+// sharded kernel's serial fallback.
+func (f *Fabric) NumLPs() int {
+	if f.Kind != Dragonfly {
+		return 1
+	}
+	return f.numGroups
+}
+
+// Lookahead implements sim.Partition: the minimum virtual latency of any
+// cross-group interaction, which for the dragonfly is one switch
+// traversal (a message's head leaves its group only through a global
+// link out of a switch). Zero when the fabric has fewer than two groups
+// or is not a dragonfly, disabling windowing.
+func (f *Fabric) Lookahead() units.Seconds {
+	if f.Kind != Dragonfly || f.numGroups < 2 {
+		return 0
+	}
+	return f.Cfg.SwitchLatency
+}
+
+// EndpointLP returns the logical process that owns an endpoint: its
+// dragonfly group (LP 0 for non-dragonfly fabrics).
+func (f *Fabric) EndpointLP(ep int) int {
+	if f.Kind != Dragonfly {
+		return 0
+	}
+	return f.EndpointGroup(ep)
+}
+
+// LinkLP returns the logical process that owns a link's queue. Ownership
+// follows the switch doing the arbitration: an injection link is owned
+// by the group of the switch it feeds (To), every other kind by the
+// group of its From switch. A global link a→b therefore belongs to group
+// a — the sender arbitrates for it locally, and only the granted head
+// crosses to group b, one switch traversal (= one lookahead) later.
+func (f *Fabric) LinkLP(id int) int {
+	if f.Kind != Dragonfly {
+		return 0
+	}
+	l := &f.Links[id]
+	if l.Kind == Injection {
+		return f.SwitchGroup[l.To]
+	}
+	return f.SwitchGroup[l.From]
+}

@@ -1,0 +1,101 @@
+package fabric
+
+import (
+	"testing"
+
+	"frontiersim/internal/units"
+)
+
+func partitionTestFabric(t *testing.T) *Fabric {
+	t.Helper()
+	cfg := FrontierConfig()
+	cfg.ComputeGroups = 4
+	cfg.IOGroups = 1
+	cfg.MgmtGroups = 1
+	f, err := NewDragonfly(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestDragonflyPartition(t *testing.T) {
+	f := partitionTestFabric(t)
+	if got, want := f.NumLPs(), f.Cfg.TotalGroups(); got != want {
+		t.Errorf("NumLPs = %d, want one per group (%d)", got, want)
+	}
+	if got := f.Lookahead(); got != f.Cfg.SwitchLatency {
+		t.Errorf("Lookahead = %v, want the switch traversal %v", got, f.Cfg.SwitchLatency)
+	}
+	if f.Lookahead() <= 0 {
+		t.Fatal("dragonfly lookahead must be positive for windowing")
+	}
+}
+
+func TestEndpointLPMatchesGroup(t *testing.T) {
+	f := partitionTestFabric(t)
+	for ep := 0; ep < f.NumEndpoints; ep++ {
+		if got, want := f.EndpointLP(ep), f.EndpointGroup(ep); got != want {
+			t.Fatalf("endpoint %d: LP %d, want group %d", ep, got, want)
+		}
+	}
+}
+
+func TestLinkLPOwnership(t *testing.T) {
+	f := partitionTestFabric(t)
+	for _, l := range f.Links {
+		lp := f.LinkLP(l.ID)
+		var want int
+		switch l.Kind {
+		case Injection:
+			// endpoint -> switch: owned by the switch's group.
+			want = f.SwitchGroup[l.To]
+		case Ejection, Intra, Global:
+			// switch arbitrates: owned by the From switch's group.
+			want = f.SwitchGroup[l.From]
+		default:
+			t.Fatalf("unexpected link kind %v in dragonfly", l.Kind)
+		}
+		if lp != want {
+			t.Fatalf("link %d (%v %d->%d): LP %d, want %d", l.ID, l.Kind, l.From, l.To, lp, want)
+		}
+	}
+}
+
+func TestGlobalLinkOwnedBySender(t *testing.T) {
+	// The lookahead argument requires the sending group to arbitrate its
+	// own global links: only the granted head crosses, a switch
+	// traversal later.
+	f := partitionTestFabric(t)
+	for a := 0; a < f.NumLPs(); a++ {
+		for b := 0; b < f.NumLPs(); b++ {
+			for _, id := range f.GlobalLinks(a, b) {
+				if got := f.LinkLP(id); got != a {
+					t.Fatalf("global link %d (group %d->%d) owned by LP %d, want sender %d", id, a, b, got, a)
+				}
+			}
+		}
+	}
+}
+
+func TestFatTreeHasNoPartition(t *testing.T) {
+	f, err := NewClos(ClosConfig{
+		Name: "t", Leaves: 4, EndpointsPerLeaf: 4, NICsPerNode: 1,
+		LinkRate: 12.5e9, EndpointEfficiency: 0.9,
+		SwitchLatency: 300 * units.Nanosecond, EndpointLatency: 900 * units.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.NumLPs(); got != 1 {
+		t.Errorf("fat tree NumLPs = %d, want 1 (serial fallback)", got)
+	}
+	if got := f.Lookahead(); got != 0 {
+		t.Errorf("fat tree Lookahead = %v, want 0", got)
+	}
+	for _, l := range f.Links {
+		if f.LinkLP(l.ID) != 0 || f.EndpointLP(0) != 0 {
+			t.Fatal("fat tree entities must all map to LP 0")
+		}
+	}
+}

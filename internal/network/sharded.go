@@ -1,0 +1,220 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"frontiersim/internal/fabric"
+	"frontiersim/internal/sim"
+	"frontiersim/internal/units"
+)
+
+// ShardedTransport is the message transport over the sharded kernel:
+// the same cut-through hop mechanics as Transport, executed in parallel
+// across per-group logical processes. Each fabric link's serialisation
+// queue is owned by exactly one LP (fabric.LinkLP — the group of the
+// switch doing the arbitration), and a message migrates between LPs
+// through the kernel's mailboxes only when its next link has a
+// different owner. That crossing is posted one switch traversal ahead —
+// exactly the fabric's lookahead bound — so the conservative window
+// invariant holds by construction and the simulation is byte-identical
+// to the serial windowed run at any shard count.
+//
+// Rules the model must follow (they are what keep the engine lock-free):
+// Send must run on the source endpoint's LP (or during setup, before the
+// kernel runs); the done callback runs on the destination endpoint's LP;
+// and fabric link state must not change while a windowed run is in
+// flight — routing tables are read shared and unlocked.
+type ShardedTransport struct {
+	F  *fabric.Fabric
+	sk *sim.ShardedKernel
+
+	// links[i] serialises messages crossing fabric link i. Each entry is
+	// created and touched only by the LP that owns link i (linkLP[i]),
+	// which is the single-writer discipline that makes the shared slice
+	// race-free.
+	links  []*sim.Resource
+	linkLP []int32
+
+	per []lpTransport
+}
+
+// lpTransport is one LP's slice of the transport: a private message
+// pool, route-choice stream, and delivery counters.
+type lpTransport struct {
+	lp         *sim.LP
+	rng        *rand.Rand
+	pool       []*smessage
+	delivered  int
+	bytesMoved units.Bytes
+}
+
+// smessage is the pooled per-message hop state. Unlike the serial
+// transport's message it records which LP currently owns it; the object
+// itself migrates between LP pools as the head crosses groups.
+type smessage struct {
+	st    *ShardedTransport
+	lp    int32 // owning LP; only its goroutine may touch the message
+	path  []int // reused backing; filled by AppendMinimalPath
+	i     int   // next hop index
+	b     units.Bytes
+	start units.Seconds
+	ser   units.Seconds // serialisation time of the link being acquired
+	res   *sim.Resource // resource of the link being acquired
+	done  func(units.Seconds)
+}
+
+// NewShardedTransport builds a transport over fabric f on the sharded
+// kernel sk. sk should be built over f's partition (sim.NewSharded(seed,
+// f, shards)); the LP count must cover every link owner.
+func NewShardedTransport(sk *sim.ShardedKernel, f *fabric.Fabric) *ShardedTransport {
+	t := &ShardedTransport{
+		F:      f,
+		sk:     sk,
+		links:  make([]*sim.Resource, len(f.Links)),
+		linkLP: make([]int32, len(f.Links)),
+		per:    make([]lpTransport, sk.NumLPs()),
+	}
+	for id := range f.Links {
+		owner := f.LinkLP(id)
+		if owner >= sk.NumLPs() {
+			panic(fmt.Sprintf("network: link %d owned by LP %d but kernel has %d LPs", id, owner, sk.NumLPs()))
+		}
+		t.linkLP[id] = int32(owner)
+	}
+	for i := range t.per {
+		lp := sk.LP(i)
+		// Route choice draws from the owning LP's derived stream — a pure
+		// function of (seed, LP, "transport"), shard-count-invariant.
+		t.per[i] = lpTransport{lp: lp, rng: lp.Stream("transport")}
+	}
+	return t
+}
+
+func (t *ShardedTransport) resource(id int) *sim.Resource {
+	r := t.links[id]
+	if r == nil {
+		owner := t.sk.LP(int(t.linkLP[id]))
+		r = sim.NewResource(owner.K, fmt.Sprintf("link-%d", id), 1)
+		t.links[id] = r
+	}
+	return r
+}
+
+// WarmLinks eagerly creates every link's serialisation resource. Beyond
+// the usual benchmark-hygiene reason, warming is recommended before any
+// parallel run: it moves all lazy resource creation to the quiescent
+// setup phase.
+func (t *ShardedTransport) WarmLinks() {
+	for id := range t.links {
+		t.resource(id)
+	}
+}
+
+// Delivered returns completed-message count summed over LPs. Call it
+// only while the kernel is quiescent (between runs).
+func (t *ShardedTransport) Delivered() int {
+	n := 0
+	for i := range t.per {
+		n += t.per[i].delivered
+	}
+	return n
+}
+
+// BytesMoved returns delivered payload summed over LPs; quiescent-only.
+func (t *ShardedTransport) BytesMoved() units.Bytes {
+	var b units.Bytes
+	for i := range t.per {
+		b += t.per[i].bytesMoved
+	}
+	return b
+}
+
+func (p *lpTransport) get(t *ShardedTransport, lp int32) *smessage {
+	if n := len(p.pool); n > 0 {
+		m := p.pool[n-1]
+		p.pool = p.pool[:n-1]
+		m.lp = lp
+		return m
+	}
+	return &smessage{st: t, lp: lp}
+}
+
+func (p *lpTransport) put(m *smessage) {
+	m.done = nil
+	m.res = nil
+	p.pool = append(p.pool, m)
+}
+
+// Send schedules a message of b bytes from endpoint src to dst over the
+// minimal route, cut-through, exactly as Transport.Send. It must be
+// invoked on src's LP (or during setup); done, if non-nil, runs on dst's
+// LP at delivery with the end-to-end time.
+func (t *ShardedTransport) Send(src, dst int, b units.Bytes, done func(units.Seconds)) error {
+	lp := int32(t.F.EndpointLP(src))
+	p := &t.per[lp]
+	m := p.get(t, lp)
+	path, err := t.F.AppendMinimalPath(m.path[:0], src, dst, p.rng)
+	if err != nil {
+		p.put(m)
+		return err
+	}
+	m.path = path
+	m.i = 0
+	m.b = b
+	m.start = p.lp.K.Now()
+	m.done = done
+	p.lp.K.AfterCall(t.F.Cfg.EndpointLatency, smsgHop, m)
+	return nil
+}
+
+// smsgHop acquires the next link on the message's current LP; the
+// sharded analogue of msgHop.
+func smsgHop(arg any) {
+	m := arg.(*smessage)
+	t := m.st
+	if m.i == len(m.path) {
+		t.sk.LP(int(m.lp)).K.AfterCall(t.F.Cfg.EndpointLatency, smsgDeliver, m)
+		return
+	}
+	id := m.path[m.i]
+	m.ser = units.Seconds(float64(m.b) / t.F.Links[id].Cap)
+	m.res = t.resource(id)
+	m.res.AcquireCall(1, smsgGranted, m)
+}
+
+// smsgGranted holds the granted link for its serialisation time while
+// the head proceeds after the switch traversal. If the next link belongs
+// to another LP, the head crosses through the mailbox — posted exactly
+// one switch latency (= the lookahead bound) ahead; the release event
+// for the granted link stays behind on its owner.
+func smsgGranted(arg any) {
+	m := arg.(*smessage)
+	t := m.st
+	lp := t.sk.LP(int(m.lp))
+	lp.K.AfterCall(m.ser, smsgRelease, m.res)
+	m.i++
+	L := t.F.Cfg.SwitchLatency
+	if m.i < len(m.path) {
+		if next := t.linkLP[m.path[m.i]]; next != m.lp {
+			m.lp = next
+			lp.Post(int(next), lp.K.Now()+L, smsgHop, m)
+			return
+		}
+	}
+	lp.K.AfterCall(L, smsgHop, m)
+}
+
+func smsgRelease(arg any) { arg.(*sim.Resource).Release(1) }
+
+func smsgDeliver(arg any) {
+	m := arg.(*smessage)
+	p := &m.st.per[m.lp]
+	p.delivered++
+	p.bytesMoved += m.b
+	done, elapsed := m.done, p.lp.K.Now()-m.start
+	p.put(m) // recycle into the destination LP's pool before the callback
+	if done != nil {
+		done(elapsed)
+	}
+}

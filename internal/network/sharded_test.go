@@ -1,0 +1,157 @@
+package network
+
+import (
+	"reflect"
+	"testing"
+
+	"frontiersim/internal/fabric"
+	"frontiersim/internal/machine"
+	"frontiersim/internal/sim"
+	"frontiersim/internal/units"
+)
+
+func shardedFabric(t *testing.T) *fabric.Fabric {
+	t.Helper()
+	f, err := machine.Scaled(6, 8, 4).NewFabric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// delivery is one message completion as observed on the destination LP.
+type delivery struct {
+	at      units.Seconds
+	elapsed units.Seconds
+}
+
+// runShardedStorm fires a deterministic cross-group storm and returns
+// per-LP delivery traces plus the kernel's executed-event count. All
+// sends for group g are kicked off by an event on LP g, so the model
+// obeys the source-LP rule under every shard count.
+func runShardedStorm(t *testing.T, f *fabric.Fabric, shards, msgsPerGroup int) ([][]delivery, int, uint64) {
+	t.Helper()
+	sk := sim.NewSharded(42, f, shards)
+	tr := NewShardedTransport(sk, f)
+	tr.WarmLinks()
+	traces := make([][]delivery, sk.NumLPs())
+	eps := f.NumEndpoints
+	perSwitch := f.Cfg.EndpointsPerSwitch
+	groupEps := len(f.GroupSwitches(0)) * perSwitch
+	for g := 0; g < sk.NumLPs(); g++ {
+		g := g
+		lp := sk.LP(g)
+		lp.K.At(0, func() {
+			st := lp.Stream("storm")
+			for j := 0; j < msgsPerGroup; j++ {
+				src := g*groupEps + st.Intn(groupEps)
+				dst := st.Intn(eps - 1)
+				if dst >= src {
+					dst++
+				}
+				dlp := f.EndpointLP(dst)
+				if err := tr.Send(src, dst, 64*units.KiB, func(el units.Seconds) {
+					traces[dlp] = append(traces[dlp], delivery{at: sk.LP(dlp).K.Now(), elapsed: el})
+				}); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+	sk.Run()
+	return traces, tr.Delivered(), sk.Executed()
+}
+
+func TestShardedTransportInvariantAcrossShardCounts(t *testing.T) {
+	f := shardedFabric(t)
+	const msgs = 40
+	ref, refDelivered, refExec := runShardedStorm(t, f, 1, msgs)
+	if want := f.NumLPs() * msgs; refDelivered != want {
+		t.Fatalf("reference run delivered %d, want %d", refDelivered, want)
+	}
+	for _, shards := range []int{2, 3, 6} {
+		got, delivered, exec := runShardedStorm(t, f, shards, msgs)
+		if delivered != refDelivered {
+			t.Errorf("shards=%d: delivered %d, want %d", shards, delivered, refDelivered)
+		}
+		if exec != refExec {
+			t.Errorf("shards=%d: executed %d events, want %d", shards, exec, refExec)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("shards=%d: per-LP delivery traces diverge from shards=1", shards)
+		}
+	}
+}
+
+func TestShardedTransportZeroLoadMatchesSerial(t *testing.T) {
+	// A single uncontended cross-group message pays exactly the same
+	// zero-load latency on both engines: identical path shapes, so the
+	// structural delay terms agree even though route streams differ.
+	f := shardedFabric(t)
+	src, dst := 0, f.NumEndpoints-1
+
+	k := sim.NewKernel(42)
+	serial := NewTransport(k, f)
+	var want units.Seconds
+	if err := serial.Send(src, dst, 64*units.KiB, func(el units.Seconds) { want = el }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+
+	sk := sim.NewSharded(42, f, 2)
+	tr := NewShardedTransport(sk, f)
+	var got units.Seconds
+	if err := tr.Send(src, dst, 64*units.KiB, func(el units.Seconds) { got = el }); err != nil {
+		t.Fatal(err)
+	}
+	sk.Run()
+
+	if want == 0 || got != want {
+		t.Errorf("sharded zero-load delivery = %v, serial = %v", got, want)
+	}
+}
+
+func TestShardedTransportIntraGroupStaysLocal(t *testing.T) {
+	// A same-group message never crosses LPs: the destination sees it
+	// without a single mailbox post (executed counts pin the event
+	// budget: endpoint in/out + one hop per link + grant/release pairs).
+	f := shardedFabric(t)
+	sk := sim.NewSharded(1, f, 2)
+	tr := NewShardedTransport(sk, f)
+	done := false
+	if err := tr.Send(0, 1, units.KiB, func(units.Seconds) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	sk.Run()
+	if !done {
+		t.Fatal("same-switch message not delivered")
+	}
+	per := sk.ExecutedPerLP()
+	for lp := 1; lp < len(per); lp++ {
+		if per[lp] != 0 {
+			t.Errorf("LP %d executed %d events for an intra-group message", lp, per[lp])
+		}
+	}
+}
+
+func TestShardedTransportOnFatTreeFallsBack(t *testing.T) {
+	f, err := machine.Summit().NewFabric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := sim.NewSharded(7, f, 8)
+	if !sk.Serial() {
+		t.Fatal("fat tree must select the serial fallback")
+	}
+	tr := NewShardedTransport(sk, f)
+	n := 0
+	for i := 0; i < 4; i++ {
+		if err := tr.Send(i, f.NumEndpoints-1-i, units.MiB, func(units.Seconds) { n++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sk.Run()
+	if n != 4 {
+		t.Fatalf("delivered %d of 4 on the fat-tree fallback", n)
+	}
+}

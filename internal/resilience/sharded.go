@@ -1,0 +1,112 @@
+package resilience
+
+import (
+	"frontiersim/internal/sim"
+	"frontiersim/internal/units"
+)
+
+// Sharded failure injection: the machine's component populations split
+// across the sharded kernel's logical processes (per dragonfly group on
+// the real partition), each LP drawing and injecting its own trace from
+// its private stream. Failures are independent Poisson processes, so
+// splitting a class of Count components into per-LP sub-populations
+// preserves the aggregate rate exactly; and because each LP's trace is a
+// pure function of (seed, LP id), the union of injected failures is
+// byte-identical at any shard count.
+//
+// Failure injection has no cross-LP events at all, so the natural
+// partition is sim.StaticPartition{LPs: n, Bound: horizon}: one window,
+// near-linear parallel speedup over the trace generation and handling.
+
+// ShardedInjection tracks a sharded injection run; counts become valid
+// once the kernel has run past the generation events.
+type ShardedInjection struct {
+	injectors []*shardInjector
+}
+
+// Failures returns the total number of injected failures across LPs.
+func (s *ShardedInjection) Failures() int {
+	n := 0
+	for _, in := range s.injectors {
+		n += len(in.failures)
+	}
+	return n
+}
+
+// PerLP returns per-LP injected failure counts.
+func (s *ShardedInjection) PerLP() []int {
+	out := make([]int, len(s.injectors))
+	for i, in := range s.injectors {
+		out[i] = len(in.failures)
+	}
+	return out
+}
+
+type shardInjector struct {
+	m        Model
+	horizon  units.Seconds
+	lp       *sim.LP
+	handle   func(lp int, f Failure)
+	failures []Failure
+	next     int
+}
+
+// shardGenerate draws the LP's failure trace and schedules it. It runs
+// as the LP's t=0 event, so trace generation itself parallelises across
+// shards inside the first window.
+func shardGenerate(arg any) {
+	in := arg.(*shardInjector)
+	in.failures = in.m.Simulate(in.horizon, in.lp.Stream("resilience"))
+	for i := range in.failures {
+		in.lp.K.AtCall(in.failures[i].At, shardInjectNext, in)
+	}
+}
+
+// shardInjectNext consumes the next trace entry, exactly like the serial
+// injector's cursor: events were scheduled in slice (time) order, so the
+// kernel's (time, seq) dispatch replays the trace in order.
+func shardInjectNext(arg any) {
+	in := arg.(*shardInjector)
+	f := in.failures[in.next]
+	in.next++
+	in.handle(in.lp.ID(), f)
+}
+
+// shard returns LP i's sub-population of the model: each class's Count
+// divides as evenly as possible across n LPs, with the first Count mod n
+// LPs taking one extra. Component indices in the resulting failures are
+// local to the LP's share.
+func (m Model) shard(i, n int) Model {
+	out := Model{Classes: make([]ComponentClass, 0, len(m.Classes))}
+	for _, c := range m.Classes {
+		cnt := c.Count / n
+		if i < c.Count%n {
+			cnt++
+		}
+		if cnt == 0 {
+			continue
+		}
+		c.Count = cnt
+		out.Classes = append(out.Classes, c)
+	}
+	return out
+}
+
+// InjectSharded partitions the model across sk's logical processes and
+// schedules each LP's failure trace on its own kernel. handle runs on
+// the failing LP's goroutine with the LP id and the failure — it must
+// only touch state owned by that LP (or per-LP slots of a shared slice).
+// Traces are generated lazily at t=0 inside the run, so generation work
+// parallelises too; the returned ShardedInjection reports counts once
+// the kernel has started (Failures is exact after the first window).
+func (m Model) InjectSharded(sk *sim.ShardedKernel, horizon units.Seconds, handle func(lp int, f Failure)) *ShardedInjection {
+	n := sk.NumLPs()
+	s := &ShardedInjection{injectors: make([]*shardInjector, n)}
+	for i := 0; i < n; i++ {
+		lp := sk.LP(i)
+		in := &shardInjector{m: m.shard(i, n), horizon: horizon, lp: lp, handle: handle}
+		s.injectors[i] = in
+		lp.K.AtCall(0, shardGenerate, in)
+	}
+	return s
+}

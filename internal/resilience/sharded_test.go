@@ -1,0 +1,107 @@
+package resilience
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"frontiersim/internal/sim"
+	"frontiersim/internal/units"
+)
+
+func TestShardConservesPopulations(t *testing.T) {
+	m := Frontier()
+	const n = 80
+	totals := map[string]int{}
+	for i := 0; i < n; i++ {
+		for _, c := range m.shard(i, n).Classes {
+			totals[c.Name] += c.Count
+		}
+	}
+	for _, c := range m.Classes {
+		if totals[c.Name] != c.Count {
+			t.Errorf("class %s: sharded counts sum to %d, want %d", c.Name, totals[c.Name], c.Count)
+		}
+	}
+	// The aggregate interrupt rate — and with it the analytic MTTI — is
+	// preserved by the split.
+	var rate float64
+	for i := 0; i < n; i++ {
+		sub := m.shard(i, n)
+		for _, c := range sub.Classes {
+			if c.Interrupting {
+				rate += c.Rate()
+			}
+		}
+	}
+	if want := 1 / float64(m.SystemMTTI()); math.Abs(rate-want)/want > 1e-12 {
+		t.Errorf("sharded interrupt rate %v, want %v", rate, want)
+	}
+}
+
+// runShardedInjection injects a quarter year over n LPs and returns the
+// per-LP failure traces observed by the handler.
+func runShardedInjection(t *testing.T, lps, shards int) ([][]Failure, int) {
+	t.Helper()
+	horizon := 91 * units.Day
+	sk := sim.NewSharded(42, sim.StaticPartition{LPs: lps, Bound: horizon}, shards)
+	got := make([][]Failure, lps)
+	inj := Frontier().InjectSharded(sk, horizon, func(lp int, f Failure) {
+		got[lp] = append(got[lp], f)
+	})
+	sk.RunUntil(horizon)
+	return got, inj.Failures()
+}
+
+func TestInjectShardedInvariantAcrossShardCounts(t *testing.T) {
+	const lps = 16
+	ref, refTotal := runShardedInjection(t, lps, 1)
+	if refTotal == 0 {
+		t.Fatal("no failures injected over a quarter year")
+	}
+	for _, shards := range []int{4, 16} {
+		got, total := runShardedInjection(t, lps, shards)
+		if total != refTotal {
+			t.Errorf("shards=%d: %d failures, want %d", shards, total, refTotal)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("shards=%d: per-LP failure traces diverge from shards=1", shards)
+		}
+	}
+}
+
+func TestInjectShardedHandlesInTimeOrderPerLP(t *testing.T) {
+	got, total := runShardedInjection(t, 8, 4)
+	seen := 0
+	for lp, fs := range got {
+		for i := 1; i < len(fs); i++ {
+			if fs[i].At < fs[i-1].At {
+				t.Fatalf("LP %d: failure %d at %v before predecessor %v", lp, i, fs[i].At, fs[i-1].At)
+			}
+		}
+		seen += len(fs)
+	}
+	if seen != total {
+		t.Errorf("handler saw %d failures, injection reports %d", seen, total)
+	}
+}
+
+func TestInjectShardedRateMatchesAnalyticMTTI(t *testing.T) {
+	// The union of per-LP traces is a thinned-and-merged Poisson process
+	// with the full machine's rate: over a quarter year the interrupting
+	// count should sit near horizon/MTTI.
+	horizon := 91 * units.Day
+	got, _ := runShardedInjection(t, 16, 4)
+	interrupts := 0
+	for _, fs := range got {
+		for _, f := range fs {
+			if f.Interrupting {
+				interrupts++
+			}
+		}
+	}
+	want := float64(horizon) / float64(Frontier().SystemMTTI())
+	if ratio := float64(interrupts) / want; ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("interrupting failures = %d, analytic expectation %.0f (ratio %.2f)", interrupts, want, ratio)
+	}
+}

@@ -1,0 +1,538 @@
+// Sharded parallel event kernel: conservative lookahead windows over
+// per-group logical processes.
+//
+// A ShardedKernel splits a model into N logical processes (LPs), each
+// owning a private serial Kernel — the PR 5 arena + flat 4-ary heap stay
+// intact per LP. LPs execute concurrently inside lookahead windows
+// (YAWNS-style barriers): if every cross-LP interaction carries at least
+// L seconds of virtual latency, then all events in [T, T+L) are
+// causally independent across LPs and may run in parallel. At each
+// window boundary the coordinator drains every LP's outbox of cross-LP
+// events and merges them into the destination calendars in a single
+// deterministic order — sorted by (time, source LP, source sequence), a
+// key that does not depend on the shard count — so `run all -seed 42`
+// is byte-identical whether the windows execute on one goroutine or
+// eight.
+//
+// Determinism contract: serial mode (shards <= 1) runs the *same*
+// windowed algorithm inline; per-LP random streams derive from
+// rng.DeriveN(seed, lpID), a pure function of the LP identity; and the
+// mailbox merge key is shard-count-free. The only true fallback — a
+// single shared calendar — engages when the model exposes no partition
+// or the lookahead bound is zero, where windowing is impossible.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+
+	"frontiersim/internal/rng"
+)
+
+// Partition describes how a model's entities split into logical
+// processes. fabric.Fabric implements it for the dragonfly: one LP per
+// group, with the switch traversal latency — the minimum virtual delay
+// any message pays to cross groups — as the static lookahead bound.
+type Partition interface {
+	// NumLPs is the number of logical processes. Values below 2 mean
+	// the model is unpartitioned.
+	NumLPs() int
+	// Lookahead is the minimum virtual latency of any cross-LP
+	// interaction: an event posted from LP a to LP b at time t is
+	// guaranteed to be scheduled no earlier than t+Lookahead. Zero
+	// disables windowing (serial fallback).
+	Lookahead() Time
+}
+
+// StaticPartition is the trivial Partition: a fixed LP count and a fixed
+// bound. Models whose LPs never interact (for example per-group failure
+// injectors) can set Bound to the run horizon, collapsing the run to a
+// single window with near-linear parallel speedup.
+type StaticPartition struct {
+	LPs   int
+	Bound Time
+}
+
+func (p StaticPartition) NumLPs() int     { return p.LPs }
+func (p StaticPartition) Lookahead() Time { return p.Bound }
+
+// xevent is one mailbox entry: a cross-LP event in flight between
+// windows. The (at, src, seq) triple is the deterministic merge key.
+type xevent struct {
+	at  Time
+	seq uint64 // per-source-LP post sequence
+	src int32
+	dst int32
+	cb  Callback
+	arg any
+	h   *PostHandle
+}
+
+// mergeQueue orders mailbox entries by (time, source LP, source
+// sequence) — unique per entry, independent of the shard count.
+type mergeQueue []xevent
+
+func (q *mergeQueue) Len() int      { return len(*q) }
+func (q *mergeQueue) Swap(i, j int) { (*q)[i], (*q)[j] = (*q)[j], (*q)[i] }
+func (q *mergeQueue) Less(i, j int) bool {
+	a, b := &(*q)[i], &(*q)[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// LP is one logical process: a private serial kernel plus an outbox of
+// cross-LP events. Model code running on an LP touches only its own
+// kernel (K) and posts to other LPs via Post — the single-writer rule
+// that makes the whole engine race-free without locks.
+type LP struct {
+	sk *ShardedKernel
+	id int
+
+	// K is the LP's private event calendar. Local scheduling goes
+	// straight to it (AtCall/After/Every/...), exactly as on a serial
+	// kernel.
+	K *Kernel
+
+	out      mergeQueue // outbox, drained by the coordinator at barriers
+	seq      uint64     // next outbox sequence number
+	lastExec uint64     // executed count at the previous stats flush
+}
+
+// ID returns the LP's index in [0, NumLPs).
+func (lp *LP) ID() int { return lp.id }
+
+// Stream derives an independent random stream for a named component of
+// this LP. It is a pure function of (root seed, LP id, name) — never of
+// the shard count or of sibling stream construction order — which is
+// what keeps output byte-identical at any -shards value. Prefer this
+// over lp.K.Stream: the latter only agrees with it outside the serial
+// fallback, where LPs share one kernel.
+func (lp *LP) Stream(name string) *rand.Rand {
+	return rng.New(rng.Derive(lp.seed(), name))
+}
+
+// seed is the LP's private root seed, rng.DeriveN(root, lpID).
+func (lp *LP) seed() int64 { return rng.DeriveN(lp.sk.seed, uint64(lp.id)) }
+
+// Post schedules cb(arg) at absolute virtual time at on LP dst. It must
+// be called from model code executing on this LP (or from the
+// coordinator between runs), and at must respect the lookahead bound:
+// at >= lp.K.Now() + Lookahead(). The event travels through this LP's
+// outbox and is merged into dst's calendar at the next window barrier.
+func (lp *LP) Post(dst int, at Time, cb Callback, arg any) {
+	lp.post(dst, at, cb, arg, nil)
+}
+
+// PostEvent is Post returning a cancellable handle; see PostHandle.
+func (lp *LP) PostEvent(dst int, at Time, cb Callback, arg any) *PostHandle {
+	h := &PostHandle{lp: lp, dst: int32(dst)}
+	lp.post(dst, at, cb, arg, h)
+	return h
+}
+
+func (lp *LP) post(dst int, at Time, cb Callback, arg any, h *PostHandle) {
+	if cb == nil {
+		panic("sim: nil Callback")
+	}
+	sk := lp.sk
+	if dst < 0 || dst >= len(sk.lps) {
+		panic(fmt.Sprintf("sim: Post to unknown LP %d (have %d)", dst, len(sk.lps)))
+	}
+	if sk.serial != nil {
+		// Shared-calendar fallback: no windows, so deliver directly.
+		ev := sk.serial.AtCall(at, cb, arg)
+		if h != nil {
+			h.ev = ev
+			h.delivered = true
+		}
+		return
+	}
+	if min := lp.K.Now() + sk.lookahead; at < min {
+		panic(fmt.Sprintf(
+			"sim: cross-LP event at %v violates lookahead bound (now %v + lookahead %v = %v)",
+			at, lp.K.Now(), sk.lookahead, min))
+	}
+	lp.out = append(lp.out, xevent{
+		at: at, seq: lp.seq, src: int32(lp.id), dst: int32(dst),
+		cb: cb, arg: arg, h: h,
+	})
+	lp.seq++
+}
+
+// PostHandle is a cancellable handle to a cross-LP event. Cancel must be
+// called from the LP that posted the event (or between runs).
+//
+// While the event is still in flight — posted but not yet merged at a
+// window barrier — Cancel is exact: the coordinator drops it during the
+// merge. Once delivered to the destination calendar, cancellation from
+// another LP is best-effort by construction: conservative synchronization
+// lets the destination run up to a full lookahead window ahead, so the
+// cancel request is itself forwarded as a cross-LP event and only wins
+// if the target has not fired by the time it arrives. Cancelled reports
+// whether cancellation was requested, not whether it won.
+type PostHandle struct {
+	lp        *LP
+	dst       int32
+	cancelled bool
+	delivered bool
+	ev        Event
+}
+
+// Cancel requests cancellation of the posted event.
+func (h *PostHandle) Cancel() {
+	h.cancelled = true
+	if !h.delivered {
+		return // still in the outbox; the merge skips it
+	}
+	sk := h.lp.sk
+	if sk.serial != nil || !sk.running {
+		// Shared calendar, or no workers running: cancel in place.
+		h.ev.Cancel()
+		return
+	}
+	// The destination LP may be executing concurrently; forward the
+	// cancellation through the mailbox like any other cross-LP event.
+	h.lp.post(int(h.dst), h.lp.K.Now()+sk.lookahead, cancelPosted, h, nil)
+}
+
+func cancelPosted(arg any) { arg.(*PostHandle).ev.Cancel() }
+
+// Cancelled reports whether Cancel was called on the handle.
+func (h *PostHandle) Cancelled() bool { return h.cancelled }
+
+// Delivered reports whether the event has been merged into the
+// destination LP's calendar (true immediately in the serial fallback).
+func (h *PostHandle) Delivered() bool { return h.delivered }
+
+// ShardedKernel coordinates N logical processes across a pool of shard
+// workers. Construct with NewSharded, schedule initial events on the
+// per-LP kernels (setup is single-threaded), then Run or RunUntil.
+type ShardedKernel struct {
+	seed      int64
+	lookahead Time
+	shards    int
+	lps       []*LP
+
+	// serial is non-nil in the shared-calendar fallback (no partition or
+	// zero lookahead): every LP's K points at this one kernel and Post
+	// delivers directly.
+	serial *Kernel
+
+	running bool       // a windowed run is in progress (workers live)
+	mq      mergeQueue // barrier merge scratch, reused across windows
+}
+
+// NewSharded builds a sharded kernel over partition p with the given
+// worker count. shards <= 1 executes the windowed algorithm inline on
+// the calling goroutine — same algorithm, same output, no concurrency.
+// shards above NumLPs are clamped. A nil partition, fewer than two LPs,
+// or a non-positive lookahead selects the shared-calendar fallback,
+// which is exactly a serial Kernel behind the LP API.
+func NewSharded(seed int64, p Partition, shards int) *ShardedKernel {
+	n, la := 1, Time(0)
+	if p != nil {
+		n, la = p.NumLPs(), p.Lookahead()
+	}
+	if n < 1 {
+		n = 1
+	}
+	sk := &ShardedKernel{seed: seed, lookahead: la}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	sk.shards = shards
+	sk.lps = make([]*LP, n)
+	if n < 2 || la <= 0 {
+		// Fallback: one calendar shared by every LP.
+		sk.serial = NewKernel(rng.DeriveN(seed, 0))
+		sk.shards = 1
+		for i := range sk.lps {
+			sk.lps[i] = &LP{sk: sk, id: i, K: sk.serial}
+		}
+		return sk
+	}
+	for i := range sk.lps {
+		sk.lps[i] = &LP{sk: sk, id: i, K: NewKernel(rng.DeriveN(seed, uint64(i)))}
+	}
+	noteShards(shards)
+	return sk
+}
+
+// NumLPs returns the logical process count.
+func (sk *ShardedKernel) NumLPs() int { return len(sk.lps) }
+
+// Shards returns the effective worker count.
+func (sk *ShardedKernel) Shards() int { return sk.shards }
+
+// Lookahead returns the static lookahead bound (zero in the fallback).
+func (sk *ShardedKernel) Lookahead() Time { return sk.lookahead }
+
+// LP returns logical process i.
+func (sk *ShardedKernel) LP(i int) *LP { return sk.lps[i] }
+
+// Serial reports whether the kernel is running the shared-calendar
+// fallback rather than the windowed engine.
+func (sk *ShardedKernel) Serial() bool { return sk.serial != nil }
+
+// Executed returns the total number of events dispatched across all LPs.
+func (sk *ShardedKernel) Executed() uint64 {
+	if sk.serial != nil {
+		return sk.serial.Executed()
+	}
+	var sum uint64
+	for _, lp := range sk.lps {
+		sum += lp.K.Executed()
+	}
+	return sum
+}
+
+// ExecutedPerLP returns per-LP dispatched-event counts (a single total
+// under the shared-calendar fallback, attributed to LP 0).
+func (sk *ShardedKernel) ExecutedPerLP() []uint64 {
+	out := make([]uint64, len(sk.lps))
+	if sk.serial != nil {
+		out[0] = sk.serial.Executed()
+		return out
+	}
+	for i, lp := range sk.lps {
+		out[i] = lp.K.Executed()
+	}
+	return out
+}
+
+// Run dispatches events until every LP's calendar is empty or an LP
+// calls Stop on its kernel. Stop halts the stopping LP immediately
+// (serial-kernel semantics); every other LP completes the current
+// window, and the run returns at the barrier — the same state at any
+// shard count, so stopping stays deterministic.
+func (sk *ShardedKernel) Run() {
+	if sk.serial != nil {
+		sk.serial.Run()
+		sk.flushStats()
+		return
+	}
+	sk.runWindows(Time(math.Inf(1)), false)
+}
+
+// RunUntil dispatches events with timestamps <= horizon, then advances
+// every LP clock to horizon; events beyond the horizon stay queued.
+func (sk *ShardedKernel) RunUntil(horizon Time) {
+	if sk.serial != nil {
+		sk.serial.RunUntil(horizon)
+		sk.flushStats()
+		return
+	}
+	sk.runWindows(horizon, true)
+}
+
+// runWindows is the coordinator loop. Each iteration computes the global
+// minimum next-event time Tmin (jumping over sparse gaps rather than
+// stepping fixed windows), sets the window edge w1 = min(Tmin+L,
+// just-past-horizon), lets every LP drain events strictly before w1 in
+// parallel, then merges all outboxes deterministically.
+func (sk *ShardedKernel) runWindows(horizon Time, advance bool) {
+	// Horizon is inclusive (RunUntil semantics); the exclusive window
+	// bound just past it admits events at exactly the horizon.
+	bound := math.Nextafter(float64(horizon), math.Inf(1))
+
+	// running gates PostHandle.Cancel onto the forwarded (mailbox) path
+	// for the whole windowed run — also at shards=1, where there is no
+	// concurrency but cancellation semantics must match the parallel
+	// runs for the output to stay shard-count-invariant.
+	sk.running = true
+	defer func() { sk.running = false }()
+
+	var start []chan Time
+	var done chan int
+	if sk.shards > 1 {
+		start = make([]chan Time, sk.shards)
+		done = make(chan int, sk.shards)
+		for s := 0; s < sk.shards; s++ {
+			start[s] = make(chan Time, 1)
+			go sk.worker(s, start[s], done)
+		}
+		defer func() {
+			for _, c := range start {
+				close(c)
+			}
+		}()
+	}
+
+	// Setup code may have posted cross-LP events before the run; merge
+	// them first so minNext sees every pending event.
+	sk.deliver()
+
+	for {
+		tmin, ok := sk.minNext()
+		if !ok || float64(tmin) >= bound {
+			break
+		}
+		w1 := tmin + sk.lookahead
+		if w1 <= tmin {
+			// Guard against float rounding swallowing a tiny lookahead at
+			// large timestamps: the window is then the single instant Tmin.
+			w1 = Time(math.Nextafter(float64(tmin), math.Inf(1)))
+		}
+		if float64(w1) > bound {
+			w1 = Time(bound)
+		}
+
+		if start == nil {
+			for _, lp := range sk.lps {
+				lp.K.RunBefore(w1)
+			}
+		} else {
+			for _, c := range start {
+				c <- w1
+			}
+			for range start {
+				<-done
+			}
+		}
+
+		stopped := false
+		for _, lp := range sk.lps {
+			if lp.K.Stopped() {
+				stopped = true
+			}
+		}
+		sk.deliver()
+		sk.flushStats()
+		if stopped {
+			return
+		}
+	}
+
+	if advance {
+		for _, lp := range sk.lps {
+			if lp.K.now < horizon {
+				lp.K.now = horizon
+			}
+		}
+	}
+}
+
+// worker owns every LP whose index is congruent to s modulo the shard
+// count, draining each up to the window edge received on start. All
+// cross-goroutine visibility rides the start/done channel pair.
+func (sk *ShardedKernel) worker(s int, start <-chan Time, done chan<- int) {
+	for w1 := range start {
+		for i := s; i < len(sk.lps); i += sk.shards {
+			sk.lps[i].K.RunBefore(w1)
+		}
+		done <- s
+	}
+}
+
+// minNext returns the earliest pending event time across all LPs.
+func (sk *ShardedKernel) minNext() (Time, bool) {
+	var min Time
+	ok := false
+	for _, lp := range sk.lps {
+		if t, has := lp.K.PeekTime(); has && (!ok || t < min) {
+			min, ok = t, true
+		}
+	}
+	return min, ok
+}
+
+// deliver drains every LP outbox into one queue, sorts it by the
+// shard-count-free (time, source LP, source sequence) key, and inserts
+// the survivors into their destination calendars. Insertion order is
+// deterministic, so the per-destination sequence numbers — and with
+// them every same-time tie-break downstream — are too.
+func (sk *ShardedKernel) deliver() {
+	q := sk.mq[:0]
+	for _, lp := range sk.lps {
+		q = append(q, lp.out...)
+		clear(lp.out)
+		lp.out = lp.out[:0]
+	}
+	sk.mq = q
+	if len(q) == 0 {
+		return
+	}
+	sort.Sort(&sk.mq)
+	for i := range q {
+		e := &q[i]
+		if e.h != nil {
+			if e.h.cancelled {
+				continue
+			}
+			e.h.ev = sk.lps[e.dst].K.AtCall(e.at, e.cb, e.arg)
+			e.h.delivered = true
+			continue
+		}
+		sk.lps[e.dst].K.AtCall(e.at, e.cb, e.arg)
+	}
+	clear(q)
+	sk.mq = q[:0]
+}
+
+// Per-shard executed-event counters aggregated across every sharded
+// kernel in the process, for operational surfaces such as the campaign
+// server's /v1/stats. Coordinators flush deltas at window barriers, so
+// readers see live (slightly barrier-granular) progress of running jobs.
+const maxStatShards = 64
+
+var (
+	statExec   [maxStatShards]atomic.Uint64
+	statShards atomic.Int64
+)
+
+func noteShards(n int) {
+	if n > maxStatShards {
+		n = maxStatShards
+	}
+	for {
+		cur := statShards.Load()
+		if int64(n) <= cur || statShards.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// ShardedExecuted returns a process-wide snapshot of executed-event
+// counts per shard index, summed over every sharded kernel since process
+// start. Serial and fallback runs attribute to shard 0.
+func ShardedExecuted() []uint64 {
+	n := int(statShards.Load())
+	if n < 1 {
+		n = 1
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = statExec[i].Load()
+	}
+	return out
+}
+
+// flushStats adds each LP's executed-event delta since the last flush to
+// its shard's process-wide counter. Coordinator-only; runs at barriers.
+func (sk *ShardedKernel) flushStats() {
+	if sk.serial != nil {
+		n := sk.serial.Executed()
+		lp := sk.lps[0]
+		statExec[0].Add(n - lp.lastExec)
+		lp.lastExec = n
+		return
+	}
+	for i, lp := range sk.lps {
+		n := lp.K.Executed()
+		if d := n - lp.lastExec; d != 0 {
+			statExec[(i%sk.shards)%maxStatShards].Add(d)
+			lp.lastExec = n
+		}
+	}
+}

@@ -1,0 +1,388 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"frontiersim/internal/rng"
+)
+
+// traceModel is a deterministic cross-LP workload used by the
+// equivalence tests: every LP starts with a burst of local events at
+// stream-drawn times; each event logs (time, tag) to its LP's private
+// trace, schedules a local follow-up, and posts a continuation to a
+// derived destination LP at least one lookahead in the future. Traces
+// are per-LP, so concurrent execution appends race-free and the full
+// trace set is comparable across shard counts.
+type traceModel struct {
+	sk     *ShardedKernel
+	traces [][]traceEntry
+}
+
+type traceEntry struct {
+	at  Time
+	tag uint64
+}
+
+type hopMsg struct {
+	m   *traceModel
+	lp  int
+	tag uint64
+	ttl int
+}
+
+func hopFire(arg any) {
+	h := arg.(*hopMsg)
+	lp := h.m.sk.LP(h.lp)
+	now := lp.K.Now()
+	h.m.traces[h.lp] = append(h.m.traces[h.lp], traceEntry{at: now, tag: h.tag})
+	if h.ttl <= 0 {
+		return
+	}
+	next := &hopMsg{m: h.m, tag: rng.Mix64(h.tag), ttl: h.ttl - 1}
+	next.lp = int(next.tag>>32) % h.m.sk.NumLPs()
+	at := now + h.m.sk.Lookahead() + Time(next.tag%7)*0.01
+	lp.Post(next.lp, at, hopFire, next)
+	// Local follow-up interleaved with the mailbox traffic.
+	lp.K.AfterCall(0.001, hopLocal, h)
+}
+
+func hopLocal(arg any) {
+	h := arg.(*hopMsg)
+	lp := h.m.sk.LP(h.lp)
+	h.m.traces[h.lp] = append(h.m.traces[h.lp], traceEntry{at: lp.K.Now(), tag: 0x10ca1})
+}
+
+func runTraceModel(seed int64, lps, shards, bursts, ttl int) ([][]traceEntry, uint64) {
+	sk := NewSharded(seed, StaticPartition{LPs: lps, Bound: 0.05}, shards)
+	m := &traceModel{sk: sk, traces: make([][]traceEntry, lps)}
+	for i := 0; i < lps; i++ {
+		lp := sk.LP(i)
+		st := lp.Stream("burst")
+		for b := 0; b < bursts; b++ {
+			msg := &hopMsg{m: m, lp: i, tag: uint64(st.Int63()), ttl: ttl}
+			lp.K.AtCall(Time(st.Float64()), hopFire, msg)
+		}
+	}
+	sk.Run()
+	return m.traces, sk.Executed()
+}
+
+func TestShardedTraceInvariantAcrossShardCounts(t *testing.T) {
+	const lps, bursts, ttl = 8, 6, 12
+	ref, refExec := runTraceModel(42, lps, 1, bursts, ttl)
+	if refExec == 0 {
+		t.Fatal("reference run executed nothing")
+	}
+	for _, shards := range []int{2, 4, 8} {
+		got, exec := runTraceModel(42, lps, shards, bursts, ttl)
+		if exec != refExec {
+			t.Errorf("shards=%d: executed %d events, want %d", shards, exec, refExec)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("shards=%d: per-LP traces diverge from shards=1", shards)
+		}
+	}
+}
+
+func TestShardedStreamInvariant(t *testing.T) {
+	// lp.Stream is a pure function of (seed, lpID, name): identical in
+	// windowed mode at any shard count and in the serial fallback.
+	draw := func(sk *ShardedKernel) []int64 {
+		out := make([]int64, sk.NumLPs())
+		for i := range out {
+			out[i] = sk.LP(i).Stream("x").Int63()
+		}
+		return out
+	}
+	ref := draw(NewSharded(7, StaticPartition{LPs: 4, Bound: 1}, 1))
+	for name, sk := range map[string]*ShardedKernel{
+		"shards=4": NewSharded(7, StaticPartition{LPs: 4, Bound: 1}, 4),
+		"fallback": NewSharded(7, StaticPartition{LPs: 4, Bound: 0}, 4),
+		"one-lp":   NewSharded(7, nil, 4),
+		"clamped":  NewSharded(7, StaticPartition{LPs: 4, Bound: 1}, 99),
+	} {
+		got := draw(sk)
+		n := len(got)
+		if n > len(ref) {
+			n = len(ref)
+		}
+		if !reflect.DeepEqual(got[:n], ref[:n]) {
+			t.Errorf("%s: per-LP streams diverge", name)
+		}
+	}
+}
+
+func TestShardedWindowBoundaryEvent(t *testing.T) {
+	// A cross-LP event landing exactly on the window edge w1 = Tmin + L
+	// must execute in the following window at exactly its timestamp.
+	const L = 1.0
+	for _, shards := range []int{1, 2} {
+		sk := NewSharded(1, StaticPartition{LPs: 2, Bound: L}, shards)
+		var fired []Time
+		sk.LP(0).K.At(0, func() {
+			// now=0, so t=L is the first window's exclusive edge.
+			sk.LP(0).Post(1, L, func(any) {
+				fired = append(fired, sk.LP(1).K.Now())
+			}, nil)
+		})
+		sk.Run()
+		if len(fired) != 1 || fired[0] != L {
+			t.Errorf("shards=%d: boundary event fired at %v, want exactly [%v]", shards, fired, Time(L))
+		}
+	}
+}
+
+func TestShardedZeroLookaheadFallsBackToSerial(t *testing.T) {
+	for name, p := range map[string]Partition{
+		"zero-lookahead": StaticPartition{LPs: 4, Bound: 0},
+		"one-lp":         StaticPartition{LPs: 1, Bound: 5},
+		"nil-partition":  nil,
+	} {
+		sk := NewSharded(3, p, 8)
+		if !sk.Serial() {
+			t.Errorf("%s: expected serial fallback", name)
+		}
+		if sk.Shards() != 1 {
+			t.Errorf("%s: fallback shards = %d, want 1", name, sk.Shards())
+		}
+		// Posts deliver directly, with no lookahead restriction.
+		var order []int
+		n := sk.NumLPs()
+		for i := 0; i < n; i++ {
+			i := i
+			sk.LP(i%n).Post((i+1)%n, Time(i)*0.25, func(any) { order = append(order, i) }, nil)
+		}
+		sk.Run()
+		if len(order) != n {
+			t.Fatalf("%s: executed %d of %d posted events", name, len(order), n)
+		}
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("%s: execution order %v not time-ordered", name, order)
+			}
+		}
+	}
+}
+
+func TestShardedCancelInFlight(t *testing.T) {
+	// Cancel before the first barrier: the merge drops the event exactly.
+	for _, shards := range []int{1, 2} {
+		sk := NewSharded(1, StaticPartition{LPs: 2, Bound: 1}, shards)
+		fired := false
+		h := sk.LP(0).PostEvent(1, 5, func(any) { fired = true }, nil)
+		if h.Delivered() {
+			t.Fatalf("shards=%d: handle delivered before any barrier", shards)
+		}
+		h.Cancel()
+		if !h.Cancelled() {
+			t.Fatalf("shards=%d: Cancelled() false after Cancel", shards)
+		}
+		sk.LP(1).K.At(6, func() {}) // keep the run alive past t=5
+		sk.Run()
+		if fired {
+			t.Errorf("shards=%d: cancelled in-flight event fired", shards)
+		}
+	}
+}
+
+func TestShardedCancelAfterDelivery(t *testing.T) {
+	// Between runs the destination is quiescent: Cancel acts in place.
+	for _, shards := range []int{1, 2} {
+		sk := NewSharded(1, StaticPartition{LPs: 2, Bound: 1}, shards)
+		fired := false
+		h := sk.LP(0).PostEvent(1, 5, func(any) { fired = true }, nil)
+		sk.LP(0).K.At(0, func() {})
+		sk.RunUntil(2)
+		if !h.Delivered() {
+			t.Fatalf("shards=%d: handle not delivered after a run with barriers", shards)
+		}
+		h.Cancel()
+		sk.RunUntil(10)
+		if fired {
+			t.Errorf("shards=%d: cancelled delivered event fired", shards)
+		}
+	}
+}
+
+func TestShardedCancelForwardedDuringRun(t *testing.T) {
+	// Cancelling a delivered handle mid-run forwards the cancellation
+	// through the mailbox; with the target a full lookahead past the
+	// cancel point, the forwarded cancel must win at every shard count.
+	for _, shards := range []int{1, 2} {
+		sk := NewSharded(1, StaticPartition{LPs: 2, Bound: 1}, shards)
+		fired := false
+		var h *PostHandle
+		sk.LP(0).K.At(0, func() {
+			h = sk.LP(0).PostEvent(1, 10, func(any) { fired = true }, nil)
+		})
+		sk.LP(0).K.At(3, func() { h.Cancel() })
+		sk.Run()
+		if fired {
+			t.Errorf("shards=%d: forwarded cancel lost to a target a full window away", shards)
+		}
+		if !h.Cancelled() {
+			t.Errorf("shards=%d: Cancelled() false", shards)
+		}
+	}
+}
+
+type pingState struct {
+	sk *ShardedKernel
+	lp int
+}
+
+func pingBounce(arg any) {
+	p := arg.(*pingState)
+	lp := p.sk.LP(p.lp)
+	lp.Post(3-p.lp, lp.K.Now()+0.1, pingBounce, &pingState{sk: p.sk, lp: 3 - p.lp})
+}
+
+func TestShardedEverySurvivesWindowBarriers(t *testing.T) {
+	// A periodic ticker on one LP must tick through many window
+	// barriers driven by unrelated cross-LP traffic on other LPs.
+	for _, shards := range []int{1, 3} {
+		sk := NewSharded(1, StaticPartition{LPs: 3, Bound: 0.1}, shards)
+		ticks := 0
+		sk.LP(0).K.Every(0.25, func() { ticks++ })
+		// Ping-pong between LP 1 and LP 2 every lookahead, forcing
+		// ~100 windows across the horizon.
+		sk.LP(1).K.AtCall(0, pingBounce, &pingState{sk: sk, lp: 1})
+		sk.RunUntil(10)
+		if want := 40; ticks != want {
+			t.Errorf("shards=%d: %d ticks across barriers, want %d", shards, ticks, want)
+		}
+	}
+}
+
+func TestShardedRunUntilAdvancesClocks(t *testing.T) {
+	sk := NewSharded(1, StaticPartition{LPs: 2, Bound: 1}, 2)
+	sk.LP(0).K.At(1, func() {})
+	sk.RunUntil(7)
+	for i := 0; i < 2; i++ {
+		if now := sk.LP(i).K.Now(); now != 7 {
+			t.Errorf("LP %d clock at %v after RunUntil(7)", i, now)
+		}
+	}
+	// Events beyond the horizon stay queued and run on the next call.
+	ran := false
+	sk.LP(1).K.At(9, func() { ran = true })
+	sk.RunUntil(8)
+	if ran {
+		t.Error("event beyond horizon ran")
+	}
+	sk.RunUntil(9)
+	if !ran {
+		t.Error("event at horizon (inclusive) did not run")
+	}
+}
+
+func TestShardedStopHaltsRunAtWindowBoundary(t *testing.T) {
+	// Stop on an LP halts that LP immediately (serial-kernel semantics)
+	// and halts the whole run at the window boundary. Remaining events —
+	// including same-window events on the stopped LP — stay queued and
+	// run on the next call, identically at every shard count.
+	for _, shards := range []int{1, 2} {
+		sk := NewSharded(1, StaticPartition{LPs: 2, Bound: 1}, shards)
+		var ran []string
+		sk.LP(0).K.At(0.1, func() { ran = append(ran, "a"); sk.LP(0).K.Stop() })
+		sk.LP(0).K.At(0.2, func() { ran = append(ran, "same-lp-later") })
+		sk.LP(1).K.At(5, func() { ran = append(ran, "next-window") })
+		sk.Run()
+		if want := []string{"a"}; !reflect.DeepEqual(ran, want) {
+			t.Errorf("shards=%d: first run executed %v, want %v", shards, ran, want)
+		}
+		sk.Run()
+		want := []string{"a", "same-lp-later", "next-window"}
+		if !reflect.DeepEqual(ran, want) {
+			t.Errorf("shards=%d: after resume executed %v, want %v", shards, ran, want)
+		}
+	}
+}
+
+func TestShardedPostLookaheadViolationPanics(t *testing.T) {
+	sk := NewSharded(1, StaticPartition{LPs: 2, Bound: 1}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Post inside the lookahead bound did not panic")
+		}
+	}()
+	sk.LP(0).Post(1, 0.5, func(any) {}, nil)
+}
+
+func TestShardedExecutedCounters(t *testing.T) {
+	before := ShardedExecuted()
+	_, exec := runTraceModel(9, 8, 4, 4, 8)
+	after := ShardedExecuted()
+	if len(after) < 4 {
+		t.Fatalf("ShardedExecuted tracks %d shards, want >= 4", len(after))
+	}
+	var delta uint64
+	for i := range after {
+		var b uint64
+		if i < len(before) {
+			b = before[i]
+		}
+		delta += after[i] - b
+	}
+	if delta < exec {
+		t.Errorf("process-wide counters grew by %d, want at least the run's %d", delta, exec)
+	}
+}
+
+func TestKernelRunBeforeAndPeek(t *testing.T) {
+	k := NewKernel(1)
+	var ran []Time
+	for _, at := range []Time{0.5, 1.0, 1.5} {
+		at := at
+		k.At(at, func() { ran = append(ran, at) })
+	}
+	if at, ok := k.PeekTime(); !ok || at != 0.5 {
+		t.Fatalf("PeekTime = %v,%v, want 0.5,true", at, ok)
+	}
+	k.RunBefore(1.0) // strictly-before: the t=1.0 event stays queued
+	if want := []Time{0.5}; !reflect.DeepEqual(ran, want) {
+		t.Fatalf("RunBefore(1.0) ran %v, want %v", ran, want)
+	}
+	if k.Now() != 0.5 {
+		t.Errorf("clock at %v after RunBefore, want 0.5 (no jump to bound)", k.Now())
+	}
+	if at, ok := k.PeekTime(); !ok || at != 1.0 {
+		t.Errorf("PeekTime after partial drain = %v,%v, want 1.0,true", at, ok)
+	}
+	k.RunBefore(Time(math.Inf(1)))
+	if len(ran) != 3 {
+		t.Errorf("full drain ran %d events, want 3", len(ran))
+	}
+	if _, ok := k.PeekTime(); ok {
+		t.Error("PeekTime reports events on an empty calendar")
+	}
+}
+
+func TestShardedLargeFanoutSmoke(t *testing.T) {
+	// 80 LPs (the dragonfly group count), all-to-all posts, several
+	// windows; a structural smoke for the coordinator at real scale.
+	// counts[d] is only ever touched by LP d, so parallel execution
+	// stays race-free.
+	sk := NewSharded(5, StaticPartition{LPs: 80, Bound: 0.2}, 8)
+	var counts [80]int
+	for i := 0; i < 80; i++ {
+		lp := sk.LP(i)
+		lp.K.At(0, func() {
+			for d := 0; d < 80; d++ {
+				d := d
+				lp.Post(d, 0.2+Time(d)*0.001, func(any) { counts[d]++ }, nil)
+			}
+		})
+	}
+	sk.Run()
+	for i, c := range counts {
+		if c != 80 {
+			t.Fatalf("LP %d received %d posts, want 80", i, c)
+		}
+	}
+	if got, want := sk.Executed(), uint64(80+80*80); got != want {
+		t.Errorf("executed %d events, want %d", got, want)
+	}
+}

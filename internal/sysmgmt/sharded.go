@@ -1,0 +1,18 @@
+package sysmgmt
+
+import "frontiersim/internal/sim"
+
+// NewOnLP builds the management plane on one logical process of a
+// sharded kernel — in a partitioned run, HPCM belongs to the management
+// group's LP (the last dragonfly group on Frontier), and its daemons
+// (discovery sweeps, boot streams, failover timers) execute as ordinary
+// local events of that LP. Periodic sweeps ride sim.Kernel.Every, which
+// survives window barriers untouched: a barrier never drains or resets
+// an LP's calendar, it only bounds how far it may run.
+//
+// The HPCM instance must then only be touched from events on that LP
+// (or while the kernel is quiescent) — the same single-writer rule as
+// every other sharded model component.
+func NewOnLP(lp *sim.LP, cfg Config) (*HPCM, error) {
+	return New(lp.K, cfg)
+}

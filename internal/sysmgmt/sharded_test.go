@@ -1,0 +1,56 @@
+package sysmgmt
+
+import (
+	"fmt"
+	"testing"
+
+	"frontiersim/internal/sim"
+)
+
+func TestDiscoverySweepsOnShardedLP(t *testing.T) {
+	// HPCM bound to the "management group" LP keeps its periodic
+	// discovery sweep ticking across window barriers forced by cross-LP
+	// traffic on the other LPs, and records the same inventory at any
+	// shard count.
+	run := func(shards int) (sweeps int, inventory int) {
+		sk := sim.NewSharded(11, sim.StaticPartition{LPs: 4, Bound: 30}, shards)
+		mgmt := sk.LP(3)
+		h, err := NewOnLP(mgmt, Config{ComputeNodes: 64, Leaders: 4, DVSNodes: 2, SlurmCtls: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.DiscoverInterval = 60
+		h.StartDiscovery(func() map[string]string {
+			sweeps++
+			// A new chassis appears every sweep; re-observations of old
+			// ones must not count as discoveries.
+			return map[string]string{
+				fmt.Sprintf("chassis-%d", sweeps): "on",
+				"chassis-1":                       "on",
+			}
+		})
+		// Cross-LP chatter among LPs 0-2 forces barriers every 30s of
+		// virtual time while the sweep period is 60s.
+		var chatter sim.Callback
+		chatter = func(arg any) {
+			lp := arg.(*sim.LP)
+			next := sk.LP((lp.ID() + 1) % 3)
+			lp.Post(next.ID(), lp.K.Now()+30, chatter, next)
+		}
+		sk.LP(0).K.AtCall(0, chatter, sk.LP(0))
+		sk.RunUntil(3600)
+		return sweeps, len(h.Inventory)
+	}
+	s1, inv1 := run(1)
+	s4, inv4 := run(4)
+	if s1 != 60 {
+		t.Errorf("sweeps = %d over an hour at 60s period, want 60", s1)
+	}
+	if s1 != s4 || inv1 != inv4 {
+		t.Errorf("sharded discovery diverges: shards=1 (%d sweeps, %d items) vs shards=4 (%d, %d)",
+			s1, inv1, s4, inv4)
+	}
+	if inv1 != 60 {
+		t.Errorf("inventory = %d distinct items, want 60", inv1)
+	}
+}
