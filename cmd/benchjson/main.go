@@ -17,9 +17,11 @@
 // B/op and allocs/op deltas; a B/op or allocs/op increase beyond
 // -threshold (default 20%) is flagged as a REGRESSION line and the exit
 // status is 3. ns/op is normally reported but not flagged — wall time on
-// shared CI runners is too noisy to gate on — except for the kernel and
-// transport benchmarks (BenchmarkKernel*, BenchmarkTransport*): those
-// are the event-calendar hot path whose throughput the perf trajectory
+// shared CI runners is too noisy to gate on — except for the kernel,
+// transport and solver benchmarks (BenchmarkKernel*, BenchmarkTransport*,
+// BenchmarkFig6FullScale*, BenchmarkSolverDelta*,
+// BenchmarkSolutionCache*): those are the event-calendar and
+// incremental-solver hot paths whose throughput the perf trajectory
 // exists to protect, and their inner loops are long enough that a
 // >threshold ns/op increase is signal, not noise.
 package main
@@ -185,12 +187,21 @@ func runCompare(paths []string, threshold float64) int {
 }
 
 // nsGated reports whether a benchmark's ns/op is gated in compare mode.
-// Only the event-calendar hot path — the kernel and transport benchmarks
-// — is stable enough to gate on wall time. Names are matched after the
-// -procs suffix has been stripped by parseLine.
+// Two families are stable enough to gate on wall time: the
+// event-calendar hot path (kernel and transport benchmarks), and the
+// incremental max-min solver (the full-scale census plus the
+// delta-solve and solution-cache micro-benchmarks) — long, single-path
+// inner loops where a >threshold ns/op increase is a real solver
+// regression, not runner noise. Names are matched after the -procs
+// suffix has been stripped by parseLine; sub-benchmarks keep their
+// slash-separated path, so the prefixes cover BenchmarkSolverDelta/clean
+// and friends.
 func nsGated(name string) bool {
 	return strings.HasPrefix(name, "BenchmarkKernel") ||
-		strings.HasPrefix(name, "BenchmarkTransport")
+		strings.HasPrefix(name, "BenchmarkTransport") ||
+		strings.HasPrefix(name, "BenchmarkFig6FullScale") ||
+		strings.HasPrefix(name, "BenchmarkSolverDelta") ||
+		strings.HasPrefix(name, "BenchmarkSolutionCache")
 }
 
 func loadReport(path string) (Report, error) {

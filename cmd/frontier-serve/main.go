@@ -42,6 +42,7 @@ func run() int {
 	cacheDir := flag.String("cache-dir", "", "persist results to this directory (survives restarts; empty = memory only)")
 	maxSweep := flag.Int("max-sweep", 256, "max variants in one sweep request")
 	shards := flag.Int("shards", 0, "kernel worker shards per simulation (0 or 1 = one worker; results are identical at any value)")
+	solutionBytes := flag.Int64("solution-cache-bytes", 0, "solver solution-cache budget in bytes shared across simulations (0 = 256 MiB default)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "frontier-serve: unexpected arguments %v\n", flag.Args())
@@ -50,11 +51,12 @@ func run() int {
 	}
 
 	srv, err := campaign.New(campaign.Config{
-		Jobs:             *jobs,
-		CacheBytes:       *cacheBytes,
-		CacheDir:         *cacheDir,
-		MaxSweepVariants: *maxSweep,
-		Shards:           *shards,
+		Jobs:               *jobs,
+		CacheBytes:         *cacheBytes,
+		CacheDir:           *cacheDir,
+		MaxSweepVariants:   *maxSweep,
+		Shards:             *shards,
+		SolutionCacheBytes: *solutionBytes,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "frontier-serve:", err)

@@ -34,6 +34,7 @@ import (
 	"frontiersim/internal/experiments"
 	"frontiersim/internal/harness"
 	"frontiersim/internal/machine"
+	"frontiersim/internal/network"
 	"frontiersim/internal/profiling"
 )
 
@@ -91,7 +92,11 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Shards: *shards}
+	// One solver solution cache for the whole invocation: ablation arms
+	// sharing a traffic matrix (CC on/off) reuse solved allocations, and
+	// reuse is bit-exact, so output stays byte-identical with or without.
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Shards: *shards,
+		Solutions: network.NewSolutionCache(0)}
 	if *machineArg != "" {
 		spec, err := machine.Resolve(*machineArg)
 		if err != nil {

@@ -24,6 +24,7 @@ import (
 	"frontiersim/internal/experiments"
 	"frontiersim/internal/harness"
 	"frontiersim/internal/machine"
+	"frontiersim/internal/network"
 	"frontiersim/internal/sim"
 )
 
@@ -47,17 +48,26 @@ type Config struct {
 	// enter the cache key, and cached results are shared between servers
 	// configured with different shard counts.
 	Shards int
+	// SolutionCacheBytes bounds the shared max-min solver solution cache
+	// threaded through every simulation this server runs (<=0 means the
+	// network package's 256 MiB default). Unlike the result cache, which
+	// deduplicates whole jobs, the solution cache deduplicates individual
+	// solves inside them — sweep variants and repeated what-ifs that share
+	// a topology and traffic matrix skip straight to stored allocations.
+	// Reuse is bit-exact, so it never changes result bytes or cache keys.
+	SolutionCacheBytes int64
 }
 
 // Server is the campaign service. Build with New, serve Handler.
 type Server struct {
-	pool    *harness.Pool
-	cache   *cache.Cache
-	jobs    *jobStore
-	version string
-	maxVars int
-	shards  int
-	started time.Time
+	pool      *harness.Pool
+	cache     *cache.Cache
+	solutions *network.SolutionCache
+	jobs      *jobStore
+	version   string
+	maxVars   int
+	shards    int
+	started   time.Time
 }
 
 // New builds a server.
@@ -75,13 +85,14 @@ func New(cfg Config) (*Server, error) {
 		maxVars = 256
 	}
 	return &Server{
-		pool:    harness.NewPool(cfg.Jobs),
-		cache:   c,
-		jobs:    newJobStore(),
-		version: version,
-		maxVars: maxVars,
-		shards:  cfg.Shards,
-		started: time.Now(),
+		pool:      harness.NewPool(cfg.Jobs),
+		cache:     c,
+		solutions: network.NewSolutionCache(cfg.SolutionCacheBytes),
+		jobs:      newJobStore(),
+		version:   version,
+		maxVars:   maxVars,
+		shards:    cfg.Shards,
+		started:   time.Now(),
 	}, nil
 }
 
@@ -140,9 +151,12 @@ type resolved struct {
 	markdown bool
 	// shards is the server's kernel-worker setting, carried along for
 	// options() but excluded from key: shard count never changes result
-	// bytes, so including it would only fragment the cache.
-	shards int
-	key    cache.Key
+	// bytes, so including it would only fragment the cache. solutions is
+	// the server-wide solver cache, excluded for the same reason — a hit
+	// applies bit-exact stored allocations.
+	shards    int
+	solutions *network.SolutionCache
+	key       cache.Key
 }
 
 func (s *Server) resolve(req JobRequest) (resolved, error) {
@@ -186,6 +200,7 @@ func (s *Server) resolve(req JobRequest) (resolved, error) {
 	r.quick = req.Quick
 	r.markdown = req.Markdown
 	r.shards = s.shards
+	r.solutions = s.solutions
 	r.key = cache.ResultKey(cache.KeyInputs{
 		SpecJSON:    specJSON,
 		Seed:        r.seed,
@@ -200,7 +215,8 @@ func (s *Server) resolve(req JobRequest) (resolved, error) {
 // options builds the experiment options for a resolved request.
 func (r resolved) options() experiments.Options {
 	spec := r.spec
-	return experiments.Options{Quick: r.quick, Seed: r.seed, Machine: &spec, Shards: r.shards}
+	return experiments.Options{Quick: r.quick, Seed: r.seed, Machine: &spec,
+		Shards: r.shards, Solutions: r.solutions}
 }
 
 // runCached is the one compute path every endpoint shares: at most one
@@ -297,6 +313,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"shards":         shards,
 			"executedEvents": sim.ShardedExecuted(),
 		},
+		// The solver solution cache shared across every simulation: hits
+		// here are individual max-min solves served from stored
+		// allocations (sweep variants and repeated what-ifs sharing a
+		// topology), one level below the whole-result cache above.
+		"solver":        s.solutions.Stats(),
 		"codeVersion":   s.version,
 		"uptimeSeconds": time.Since(s.started).Seconds(),
 	})

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"frontiersim/internal/machine"
+	"frontiersim/internal/network"
 	"frontiersim/internal/report"
 )
 
@@ -35,6 +36,13 @@ type Options struct {
 	// sibling on the CLI — is purely a speed knob and never enters
 	// result content or the campaign cache key.
 	Shards int
+	// Solutions optionally shares a max-min solver solution cache across
+	// the network experiments (and, on the campaign server, across
+	// repeated what-ifs). A cache hit applies the bit-exact allocation
+	// the skipped solve would have produced, so — like Shards — it is
+	// purely a speed knob that never enters result content or cache
+	// keys. nil disables reuse.
+	Solutions *network.SolutionCache
 }
 
 // machine returns the spec of the machine under test.
@@ -43,6 +51,19 @@ func (o Options) machine() machine.Spec {
 		return *o.Machine
 	}
 	return machine.Frontier()
+}
+
+// topoKey returns the canonical content address of a machine spec for
+// solution-cache keys, so virgin fabrics built from the same spec share
+// stored allocations across experiment (and campaign job) boundaries.
+// An unhashable spec degrades to "", which restricts hits to the exact
+// fabric instance — slower, never wrong.
+func topoKey(spec machine.Spec) string {
+	h, err := machine.Hash(spec)
+	if err != nil {
+		return ""
+	}
+	return h
 }
 
 // DefaultOptions returns the configuration used for the recorded runs.

@@ -24,7 +24,7 @@ func Fig6(o Options) (*report.Table, error) {
 	if o.Quick {
 		dcfg.Shifts = 3
 	}
-	dres, err := network.RunMpiGraph(df, dcfg, r)
+	dres, err := network.RunMpiGraphWithCache(df, dcfg, r, o.Solutions, topoKey(o.machine()))
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +43,7 @@ func Fig6(o Options) (*report.Table, error) {
 	if o.Quick {
 		scfg.Shifts = 3
 	}
-	sres, err := network.RunMpiGraph(cl, scfg, r)
+	sres, err := network.RunMpiGraphWithCache(cl, scfg, r, o.Solutions, topoKey(machine.Summit()))
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +73,7 @@ func Table5(o Options) (*report.Table, error) {
 	if o.Quick {
 		cfg.LatencySamples = 800
 	}
-	res, err := network.RunGPCNeT(f, cfg, rng.New(o.Seed))
+	res, err := network.RunGPCNeTWithCache(f, cfg, rng.New(o.Seed), o.Solutions, topoKey(o.machine()))
 	if err != nil {
 		return nil, err
 	}

@@ -100,6 +100,15 @@ func (c *PathCache) Invalidate() {
 	c.mu.Unlock()
 }
 
+// Seed returns the cache's path-randomisation seed. Callers sharing a
+// PathCache across runs use it to check the cache was built with the
+// derivation their own determinism contract assumes.
+func (c *PathCache) Seed() int64 { return c.seed }
+
+// Valiant returns the Valiant detour fanout the cache computes paths
+// with.
+func (c *PathCache) Valiant() int { return c.nValiant }
+
 // Stats reports cache hits and misses since construction.
 func (c *PathCache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()

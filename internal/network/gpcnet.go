@@ -78,6 +78,16 @@ type GPCNeTPhase struct {
 
 // RunGPCNeT executes the benchmark on fabric f.
 func RunGPCNeT(f *fabric.Fabric, cfg GPCNeTConfig, rng *rand.Rand) (GPCNeTResult, error) {
+	return RunGPCNeTWithCache(f, cfg, rng, nil, "")
+}
+
+// RunGPCNeTWithCache is RunGPCNeT with a solution cache: each phase's
+// combined solve is served by literal demand signature when possible.
+// The solve is independent of the CongestionControl flag (CC only
+// shapes the post-solve head-of-line derating), so ablation arms that
+// differ only in CC — and repeated trials at the same seed — share one
+// stored allocation. Output is byte-identical with or without the cache.
+func RunGPCNeTWithCache(f *fabric.Fabric, cfg GPCNeTConfig, rng *rand.Rand, solutions *SolutionCache, topo string) (GPCNeTResult, error) {
 	if cfg.Nodes > f.Cfg.ComputeNodes() {
 		return GPCNeTResult{}, fmt.Errorf("network: %d nodes exceeds fabric's %d", cfg.Nodes, f.Cfg.ComputeNodes())
 	}
@@ -94,14 +104,14 @@ func RunGPCNeT(f *fabric.Fabric, cfg GPCNeTConfig, rng *rand.Rand) (GPCNeTResult
 		}
 	}
 	victimDemands := victimRing(f, victims, cfg, rng)
-	isolated, err := measurePhase(f, cfg, victimDemands, nil, victims, rng, true)
+	isolated, err := measurePhase(f, cfg, victimDemands, nil, victims, rng, true, solutions, topo)
 	if err != nil {
 		return GPCNeTResult{}, err
 	}
 	congestorDemands := buildCongestors(f, congestors, cfg, rng)
 	// Fresh victim demand objects (the solver mutates rates).
 	victimDemands = victimRing(f, victims, cfg, rng)
-	congested, err := measurePhase(f, cfg, victimDemands, congestorDemands, victims, rng, cfg.CongestionControl)
+	congested, err := measurePhase(f, cfg, victimDemands, congestorDemands, victims, rng, cfg.CongestionControl, solutions, topo)
 	if err != nil {
 		return GPCNeTResult{}, err
 	}
@@ -135,8 +145,8 @@ func victimRing(f *fabric.Fabric, victims []int, cfg GPCNeTConfig, rng *rand.Ran
 	for i, n := range ring {
 		next := ring[(i+1)%len(ring)]
 		for r := 0; r < cfg.PPN; r++ {
-			src := f.NodeEndpoints(n)[r%f.Cfg.NICsPerNode]
-			dst := f.NodeEndpoints(next)[r%f.Cfg.NICsPerNode]
+			src := f.NodeEndpoint(n, r)
+			dst := f.NodeEndpoint(next, r)
 			ps, err := f.AdaptivePaths(src, dst, cfg.ValiantPaths, rng)
 			if err != nil {
 				continue
@@ -165,8 +175,8 @@ func buildCongestors(f *fabric.Fabric, congestors []int, cfg GPCNeTConfig, rng *
 				if peer == n {
 					continue
 				}
-				src := f.NodeEndpoints(n)[r]
-				dst := f.NodeEndpoints(peer)[r]
+				src := f.NodeEndpoint(n, r)
+				dst := f.NodeEndpoint(peer, r)
 				ps, err := f.AdaptivePaths(src, dst, cfg.ValiantPaths, rng)
 				if err != nil {
 					continue
@@ -178,8 +188,8 @@ func buildCongestors(f *fabric.Fabric, congestors []int, cfg GPCNeTConfig, rng *
 			if leader == n {
 				continue
 			}
-			src := f.NodeEndpoints(n)[0]
-			dst := f.NodeEndpoints(leader)[0]
+			src := f.NodeEndpoint(n, 0)
+			dst := f.NodeEndpoint(leader, 0)
 			ps, err := f.AdaptivePaths(src, dst, cfg.ValiantPaths, rng)
 			if err != nil {
 				continue
@@ -192,11 +202,11 @@ func buildCongestors(f *fabric.Fabric, congestors []int, cfg GPCNeTConfig, rng *
 
 // measurePhase solves the combined traffic and extracts victim stats. cc
 // reports whether hardware congestion control protects this phase.
-func measurePhase(f *fabric.Fabric, cfg GPCNeTConfig, victims, congestors []*Demand, victimNodes []int, rng *rand.Rand, cc bool) (GPCNeTPhase, error) {
+func measurePhase(f *fabric.Fabric, cfg GPCNeTConfig, victims, congestors []*Demand, victimNodes []int, rng *rand.Rand, cc bool, solutions *SolutionCache, topo string) (GPCNeTPhase, error) {
 	all := make([]*Demand, 0, len(victims)+len(congestors))
 	all = append(all, victims...)
 	all = append(all, congestors...)
-	if err := Solve(f, all); err != nil {
+	if err := solveCached(f, all, solutions, topo); err != nil {
 		return GPCNeTPhase{}, err
 	}
 	// Head-of-line blocking without CC: victim flows crossing saturated

@@ -49,15 +49,18 @@ type MpiGraphResult struct {
 }
 
 // Histogram bins the samples into n equal-width bins over [0, max] and
-// returns bin upper edges (bytes/s) and counts.
+// returns bin upper edges (bytes/s) and counts. An all-zero census
+// (Max == 0) has no meaningful bin width, so it degenerates to a single
+// zero-edge bin holding every sample rather than n bins of a fabricated
+// 1 byte/s width.
 func (r MpiGraphResult) Histogram(n int) (edges []float64, counts []int) {
 	if len(r.Samples) == 0 || n < 1 {
 		return nil, nil
 	}
-	width := r.Max / float64(n)
-	if width == 0 {
-		width = 1
+	if r.Max == 0 {
+		return []float64{0}, []int{len(r.Samples)}
 	}
+	width := r.Max / float64(n)
 	edges = make([]float64, n)
 	counts = make([]int, n)
 	for i := range edges {
@@ -80,6 +83,18 @@ func (r MpiGraphResult) Histogram(n int) (edges []float64, counts []int) {
 // tight distribution on a non-blocking fat tree, a wide one on the
 // tapered dragonfly.
 func RunMpiGraph(f *fabric.Fabric, cfg MpiGraphConfig, rng *rand.Rand) (MpiGraphResult, error) {
+	return RunMpiGraphWithCache(f, cfg, rng, nil, "")
+}
+
+// RunMpiGraphWithCache is RunMpiGraph with a solution cache: each
+// shift's solve is served from (or stored into) solutions by literal
+// demand signature. Path building still threads the shared rng even on
+// a hit — the census's later draws (and therefore its byte-identical
+// output) depend on the stream having advanced exactly as if the shift
+// were computed cold; only the water-filling solve is skipped. topo is
+// the canonical topology address (machine.Hash) used in cache keys, or
+// "" to restrict hits to this exact fabric instance.
+func RunMpiGraphWithCache(f *fabric.Fabric, cfg MpiGraphConfig, rng *rand.Rand, solutions *SolutionCache, topo string) (MpiGraphResult, error) {
 	nodes, ranks, shifts, err := cfg.resolve(f)
 	if err != nil {
 		return MpiGraphResult{}, err
@@ -94,7 +109,7 @@ func RunMpiGraph(f *fabric.Fabric, cfg MpiGraphConfig, rng *rand.Rand) (MpiGraph
 		if err != nil {
 			return MpiGraphResult{}, err
 		}
-		if err := Solve(f, demands); err != nil {
+		if err := solveCached(f, demands, solutions, topo); err != nil {
 			return MpiGraphResult{}, err
 		}
 		for _, d := range demands {
@@ -154,6 +169,12 @@ func sampleShifts(nodes, shifts int, rng *rand.Rand) []int {
 // pair — the serial census threads a shared rng through AdaptivePaths,
 // the parallel census an epoch-cached PathCache.
 func buildShiftDemands(f *fabric.Fabric, nodes, ranks, s int, paths func(src, dst int) ([][]int, error)) ([]*Demand, error) {
+	// One slab allocation for the Demand objects themselves: a full-scale
+	// shift is ~75k demands, and a per-demand heap object apiece was a
+	// visible slice of the census's allocation bill. The slab is sized
+	// exactly (s in [1, nodes) means j == i never fires), so the pointers
+	// handed out below stay valid.
+	slab := make([]Demand, 0, nodes*ranks)
 	demands := make([]*Demand, 0, nodes*ranks)
 	for i := 0; i < nodes; i++ {
 		j := (i + s) % nodes
@@ -161,13 +182,14 @@ func buildShiftDemands(f *fabric.Fabric, nodes, ranks, s int, paths func(src, ds
 			continue
 		}
 		for k := 0; k < ranks; k++ {
-			src := f.NodeEndpoints(i)[k%f.Cfg.NICsPerNode]
-			dst := f.NodeEndpoints(j)[k%f.Cfg.NICsPerNode]
+			src := f.NodeEndpoint(i, k)
+			dst := f.NodeEndpoint(j, k)
 			ps, err := paths(src, dst)
 			if err != nil {
 				return nil, err
 			}
-			demands = append(demands, &Demand{Src: src, Dst: dst, Paths: ps})
+			slab = append(slab, Demand{Src: src, Dst: dst, Paths: ps})
+			demands = append(demands, &slab[len(slab)-1])
 		}
 	}
 	return demands, nil

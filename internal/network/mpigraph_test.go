@@ -1,0 +1,62 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Satellite regression: an all-zero census has no meaningful bin width.
+// Histogram previously fabricated a 1 byte/s width, putting every
+// sample in bin 0 of n mostly-empty bins; it must instead degenerate to
+// a single zero-edge bin holding everything.
+func TestHistogramZeroMax(t *testing.T) {
+	r := MpiGraphResult{Samples: []float64{0, 0, 0, 0}, Max: 0}
+	edges, counts := r.Histogram(14)
+	if len(edges) != 1 || len(counts) != 1 {
+		t.Fatalf("zero-max histogram has %d bins, want 1 (edges %v, counts %v)", len(edges), edges, counts)
+	}
+	if edges[0] != 0 {
+		t.Errorf("degenerate edge = %v, want 0", edges[0])
+	}
+	if counts[0] != len(r.Samples) {
+		t.Errorf("degenerate bin holds %d samples, want %d", counts[0], len(r.Samples))
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	if e, c := (MpiGraphResult{}).Histogram(10); e != nil || c != nil {
+		t.Error("empty census should histogram to nil")
+	}
+	r := MpiGraphResult{Samples: []float64{1, 2, 3}, Max: 3}
+	if e, c := r.Histogram(0); e != nil || c != nil {
+		t.Error("n < 1 should histogram to nil")
+	}
+}
+
+// Normal histograms: n equal-width bins over [0, Max], counts
+// conserving every sample, the max landing in the last bin.
+func TestHistogramBinning(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	r := MpiGraphResult{Max: 10e9}
+	for i := 0; i < 500; i++ {
+		r.Samples = append(r.Samples, rng.Float64()*10e9)
+	}
+	r.Samples = append(r.Samples, 10e9) // exactly Max clamps into the last bin
+	edges, counts := r.Histogram(8)
+	if len(edges) != 8 || len(counts) != 8 {
+		t.Fatalf("got %d/%d bins, want 8", len(edges), len(counts))
+	}
+	if edges[7] != 10e9 {
+		t.Errorf("last edge = %v, want Max", edges[7])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(r.Samples) {
+		t.Errorf("counts sum to %d, want %d", total, len(r.Samples))
+	}
+	if counts[7] == 0 {
+		t.Error("sample at Max should land in the last bin")
+	}
+}

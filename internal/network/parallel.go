@@ -3,6 +3,7 @@ package network
 import (
 	"context"
 	"fmt"
+	"math/rand"
 
 	"frontiersim/internal/fabric"
 	"frontiersim/internal/harness"
@@ -17,6 +18,29 @@ type ParallelConfig struct {
 	// SplitMix64 (see harness.DeriveSeed), so results are byte-identical
 	// at any Jobs setting.
 	Seed int64
+
+	// Solutions, when non-nil, caches solved allocations across runs:
+	// census shifts are keyed by pattern signature (so a repeated run
+	// skips path building and solving both), GPCNeT phases by literal
+	// demand signature. Entries are invalidated by fabric state-epoch
+	// bumps; results are byte-identical with or without the cache.
+	Solutions *SolutionCache
+	// TopoKey is the canonical topology address (machine.Hash) used in
+	// Solutions keys; "" restricts hits to the exact fabric instance.
+	TopoKey string
+	// Paths optionally shares an adaptive-routing path cache across
+	// runs. It must come from NewMpiGraphPathCache with the same cfg and
+	// Seed — a cache built under any other derivation is ignored, since
+	// its entries would break the run's determinism contract.
+	Paths *fabric.PathCache
+}
+
+// NewMpiGraphPathCache builds the path cache RunMpiGraphParallel would
+// build internally: seeded by the census's canonical derivation from
+// pcfg.Seed, so it can be constructed once and shared across repeated
+// runs via ParallelConfig.Paths.
+func NewMpiGraphPathCache(f *fabric.Fabric, cfg MpiGraphConfig, pcfg ParallelConfig) *fabric.PathCache {
+	return fabric.NewPathCache(f, cfg.ValiantPaths, harness.DeriveSeed(pcfg.Seed, "mpigraph-paths"))
 }
 
 // RunMpiGraphParallel runs the mpiGraph census with its shift
@@ -31,13 +55,24 @@ type ParallelConfig struct {
 // Jobs=N return identical results (TestMpiGraphSerialParallelEquivalence
 // pins this); the sample distribution is statistically equivalent to the
 // serial census but not sample-for-sample identical to it.
+//
+// That purity is also what makes whole shifts cacheable: a shift's
+// demand set — and therefore its solved rates — is fully determined by
+// (path seed, valiant fanout, nodes, ranks, shift) on a given fabric
+// state, so with pcfg.Solutions set, a repeated shift is served straight
+// from its pattern signature without building paths or touching the
+// solver, and only the per-shift measurement jitter is re-drawn.
 func RunMpiGraphParallel(ctx context.Context, f *fabric.Fabric, cfg MpiGraphConfig, pcfg ParallelConfig) (MpiGraphResult, error) {
 	nodes, ranks, shifts, err := cfg.resolve(f)
 	if err != nil {
 		return MpiGraphResult{}, err
 	}
 	order := sampleShifts(nodes, shifts, rng.New(pcfg.Seed))
-	cache := fabric.NewPathCache(f, cfg.ValiantPaths, harness.DeriveSeed(pcfg.Seed, "mpigraph-paths"))
+	pathSeed := harness.DeriveSeed(pcfg.Seed, "mpigraph-paths")
+	cache := pcfg.Paths
+	if cache == nil || cache.Seed() != pathSeed || cache.Valiant() != cfg.ValiantPaths {
+		cache = fabric.NewPathCache(f, cfg.ValiantPaths, pathSeed)
+	}
 
 	tasks := make([]harness.Task[[]float64], len(order))
 	for ti, s := range order {
@@ -45,6 +80,13 @@ func RunMpiGraphParallel(ctx context.Context, f *fabric.Fabric, cfg MpiGraphConf
 		tasks[ti] = harness.Task[[]float64]{
 			ID: fmt.Sprintf("shift-%d", s),
 			Run: func(_ context.Context, seed int64) ([]float64, error) {
+				sig := PatternSignature("mpigraph-shift",
+					uint64(pathSeed), uint64(cfg.ValiantPaths),
+					uint64(nodes), uint64(ranks), uint64(s))
+				r := rng.New(seed)
+				if sol, ok := pcfg.Solutions.Lookup(f, pcfg.TopoKey, sig); ok {
+					return sampleRates(sol.Rates, cfg.MeasureJitter, r), nil
+				}
 				demands, err := buildShiftDemands(f, nodes, ranks, s, func(src, dst int) ([][]int, error) {
 					ps, err := cache.Paths(src, dst)
 					return ps.Paths, err
@@ -55,16 +97,11 @@ func RunMpiGraphParallel(ctx context.Context, f *fabric.Fabric, cfg MpiGraphConf
 				if err := Solve(f, demands); err != nil {
 					return nil, err
 				}
-				r := rng.New(seed)
-				samples := make([]float64, 0, len(demands))
-				for _, d := range demands {
-					v := d.Rate * (1 + cfg.MeasureJitter*r.NormFloat64())
-					if v < 0 {
-						v = 0
-					}
-					samples = append(samples, v)
+				sol := pcfg.Solutions.Store(f, pcfg.TopoKey, sig, demands)
+				if sol == nil {
+					sol = newSolution(demands)
 				}
-				return samples, nil
+				return sampleRates(sol.Rates, cfg.MeasureJitter, r), nil
 			},
 		}
 	}
@@ -79,10 +116,29 @@ func RunMpiGraphParallel(ctx context.Context, f *fabric.Fabric, cfg MpiGraphConf
 	return finishMpiGraph(result)
 }
 
+// sampleRates applies per-sample measurement jitter to the solved rates.
+// Hit and miss paths of the parallel census both funnel through here, in
+// demand order, so a cached shift draws exactly the jitter sequence a
+// computed one would.
+func sampleRates(rates []float64, jitter float64, r *rand.Rand) []float64 {
+	samples := make([]float64, 0, len(rates))
+	for _, rate := range rates {
+		v := rate * (1 + jitter*r.NormFloat64())
+		if v < 0 {
+			v = 0
+		}
+		samples = append(samples, v)
+	}
+	return samples
+}
+
 // RunGPCNeTTrials runs trials independent repetitions of the GPCNeT
 // benchmark concurrently, one derived rng stream per trial, and returns
 // the per-trial results in trial order. The fabric is shared read-only
 // across workers; results are byte-identical at any Jobs setting.
+// pcfg.Solutions lets repeated trials (and ablation arms that share a
+// traffic matrix, like CC on/off) reuse solved phases by demand
+// signature.
 func RunGPCNeTTrials(ctx context.Context, f *fabric.Fabric, cfg GPCNeTConfig, trials int, pcfg ParallelConfig) ([]GPCNeTResult, error) {
 	if trials < 1 {
 		return nil, fmt.Errorf("network: GPCNeT needs at least one trial, got %d", trials)
@@ -92,7 +148,7 @@ func RunGPCNeTTrials(ctx context.Context, f *fabric.Fabric, cfg GPCNeTConfig, tr
 		tasks[i] = harness.Task[GPCNeTResult]{
 			ID: fmt.Sprintf("trial-%d", i),
 			Run: func(_ context.Context, seed int64) (GPCNeTResult, error) {
-				return RunGPCNeT(f, cfg, rng.New(seed))
+				return RunGPCNeTWithCache(f, cfg, rng.New(seed), pcfg.Solutions, pcfg.TopoKey)
 			},
 		}
 	}

@@ -15,8 +15,8 @@ type Pattern func(f *fabric.Fabric, nodes []int, rng *rand.Rand) ([]*Demand, err
 
 // buildDemand routes one NIC-to-NIC pair adaptively.
 func buildDemand(f *fabric.Fabric, srcNode, dstNode, nic, valiant int, rng *rand.Rand) (*Demand, error) {
-	src := f.NodeEndpoints(srcNode)[nic%f.Cfg.NICsPerNode]
-	dst := f.NodeEndpoints(dstNode)[nic%f.Cfg.NICsPerNode]
+	src := f.NodeEndpoint(srcNode, nic)
+	dst := f.NodeEndpoint(dstNode, nic)
 	ps, err := f.AdaptivePaths(src, dst, valiant, rng)
 	if err != nil {
 		return nil, err

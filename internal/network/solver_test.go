@@ -138,7 +138,12 @@ func cloneDemands(demands []*Demand) []*Demand {
 }
 
 // The arena solver must be bit-identical to the pre-arena implementation
-// on randomised demand sets, including repeated solves reusing one arena.
+// on randomised demand sets, including repeated solves reusing one arena
+// and delta solves layered on top: a clean SolveDelta must keep the
+// reference answer verbatim, and a dirty one (an in-problem link
+// bounced down and up) must refill to the same bits. Full random
+// fail/restore sequences are covered by
+// TestSolverMatchesReferenceDeltaSequences.
 func TestSolverMatchesReference(t *testing.T) {
 	f := smallFabric(t)
 	rng := rand.New(rand.NewSource(42))
@@ -168,17 +173,36 @@ func TestSolverMatchesReference(t *testing.T) {
 		if err := s.Solve(f, demands); err != nil {
 			t.Fatal(err)
 		}
-		for i := range demands {
-			if demands[i].Rate != ref[i].Rate {
-				t.Fatalf("trial %d demand %d: arena rate %v != reference %v", trial, i, demands[i].Rate, ref[i].Rate)
-			}
-			for pi := range demands[i].SubRates {
-				if demands[i].SubRates[pi] != ref[i].SubRates[pi] {
-					t.Fatalf("trial %d demand %d path %d: arena %v != reference %v",
-						trial, i, pi, demands[i].SubRates[pi], ref[i].SubRates[pi])
+		compare := func(stage string) {
+			t.Helper()
+			for i := range demands {
+				if demands[i].Rate != ref[i].Rate {
+					t.Fatalf("trial %d %s demand %d: arena rate %v != reference %v", trial, stage, i, demands[i].Rate, ref[i].Rate)
+				}
+				for pi := range demands[i].SubRates {
+					if demands[i].SubRates[pi] != ref[i].SubRates[pi] {
+						t.Fatalf("trial %d %s demand %d path %d: arena %v != reference %v",
+							trial, stage, i, pi, demands[i].SubRates[pi], ref[i].SubRates[pi])
+					}
 				}
 			}
 		}
+		compare("cold")
+		// Clean delta: nothing changed, the previous answer stands.
+		if err := s.SolveDelta(f, demands, nil); err != nil {
+			t.Fatal(err)
+		}
+		compare("clean delta")
+		// Dirty delta: bounce an in-problem link down and up. The link's
+		// state is back to what the reference solved against, so the
+		// refill must land on the same bits.
+		lid := demands[0].Paths[0][0]
+		f.FailLink(lid)
+		f.RestoreLink(lid)
+		if err := s.SolveDelta(f, demands, nil); err != nil {
+			t.Fatal(err)
+		}
+		compare("dirty delta")
 	}
 }
 
