@@ -20,6 +20,7 @@ import (
 	"frontiersim/internal/experiments"
 	"frontiersim/internal/fabric"
 	"frontiersim/internal/gpu"
+	"frontiersim/internal/llm"
 	"frontiersim/internal/machine"
 	"frontiersim/internal/memory"
 	"frontiersim/internal/network"
@@ -757,3 +758,43 @@ func BenchmarkResiliencyYearSharded(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkLLMTrainStep prices one LLM training step on a concrete
+// placement: the Bind hot path every phase-structured submission pays
+// (roofline compute, TP/PP/DP collectives on the real fabric, HBM-bound
+// microbatching already folded into the program). Single-path and
+// allocation-light, so ns/op is gated in benchjson compare mode.
+func BenchmarkLLMTrainStep(b *testing.B) {
+	spec := machine.Scaled(16, 16, 8)
+	f, err := spec.NewFabric()
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := spec.JobEnv(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	step, err := llm.AutoStep(llm.Frontier175B(), 128, spec.Node.DevicesPerNode, spec.NodeModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := step.WithSteps(1, 0)
+	placement := env.SpreadPlacement(prog.Nodes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bound, err := env.Bind(prog, placement)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bound.Total <= 0 {
+			b.Fatal("free training step")
+		}
+	}
+}
+
+// BenchmarkCampaignWeek replays the phase-structured campaign through
+// the scheduler: a week of program jobs in full mode, a day in -short.
+// The campaign is a long deterministic event loop, so its ns/op is
+// gated in benchjson compare mode alongside the kernel benchmarks.
+func BenchmarkCampaignWeek(b *testing.B) { benchExperiment(b, "ext-campaign") }

@@ -195,13 +195,17 @@ func runCompare(paths []string, threshold float64) int {
 // regression, not runner noise. Names are matched after the -procs
 // suffix has been stripped by parseLine; sub-benchmarks keep their
 // slash-separated path, so the prefixes cover BenchmarkSolverDelta/clean
-// and friends.
+// and friends. The phase-structured job layer adds two more: the LLM
+// train-step Bind pricing micro-benchmark and the campaign-week replay,
+// both deterministic single-path loops over the job/env hot path.
 func nsGated(name string) bool {
 	return strings.HasPrefix(name, "BenchmarkKernel") ||
 		strings.HasPrefix(name, "BenchmarkTransport") ||
 		strings.HasPrefix(name, "BenchmarkFig6FullScale") ||
 		strings.HasPrefix(name, "BenchmarkSolverDelta") ||
-		strings.HasPrefix(name, "BenchmarkSolutionCache")
+		strings.HasPrefix(name, "BenchmarkSolutionCache") ||
+		strings.HasPrefix(name, "BenchmarkLLMTrainStep") ||
+		strings.HasPrefix(name, "BenchmarkCampaignWeek")
 }
 
 func loadReport(path string) (Report, error) {

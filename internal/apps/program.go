@@ -1,0 +1,233 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"frontiersim/internal/gpu"
+	"frontiersim/internal/job"
+	"frontiersim/internal/units"
+)
+
+// ProgramBuilder is an App that can express itself as a phase-structured
+// job.Program for campaign simulation: the same calibration constants
+// that drive the closed-form Run FOMs, restructured as per-step compute
+// work plus the collective pattern the code actually issues, so the
+// runtime a campaign observes depends on where the scheduler places the
+// job.
+type ProgramBuilder interface {
+	App
+	// Program builds the application as a phase-structured job on n
+	// nodes of platform p, looping for the given iteration count.
+	Program(p *Platform, nodes, iterations int) (*job.Program, error)
+}
+
+// nominalStepSeconds sizes the per-step compute work of the
+// rate-calibrated applications: real campaigns size their problems to
+// the machine, so one step is one nominal second of the dominant
+// resource (flops or HBM traffic) at the app's achieved efficiency —
+// placement-dependent collectives then stretch the delivered step.
+const nominalStepSeconds = 1.0
+
+// nodesFor clamps the requested node count like Run does, defaulting to
+// the paper's campaign size.
+func (b baseApp) nodesFor(p *Platform, nodes int) int { return b.nodesOn(p, nodes) }
+
+// program assembles the common Program envelope.
+func program(name string, p *Platform, nodes, iterations int, loop []job.Phase, setup ...job.Phase) *job.Program {
+	return &job.Program{
+		Name:       name,
+		Class:      name,
+		Nodes:      nodes,
+		PPN:        p.DevicesPerNode,
+		Setup:      setup,
+		Iterations: iterations,
+		Loop:       loop,
+	}
+}
+
+// Program implements ProgramBuilder: FP16 matrix-pipe GEMM blocks with a
+// periodic tally all-reduce (the CCC result merge).
+func (a *CoMet) Program(p *Platform, nodes, iterations int) (*job.Program, error) {
+	n := a.nodesFor(p, nodes)
+	eff := swFactor(a.mixedUtil, p)
+	return program(a.name, p, n, iterations, []job.Phase{
+		{Name: "ccc-gemm", Kind: job.Compute, Precision: gpu.FP16, MatrixCores: true,
+			Flops: nominalStepSeconds * float64(p.FP16Dense) * eff, Efficiency: eff},
+		{Name: "tally-allreduce", Kind: job.Collective, Op: job.Allreduce, Payload: 16 * units.MiB},
+	}), nil
+}
+
+// Program implements ProgramBuilder: dense double-complex inversions per
+// scattering site, then the potential broadcast and energy reduction of
+// the self-consistency loop.
+func (a *LSMS) Program(p *Platform, nodes, iterations int) (*job.Program, error) {
+	n := a.nodesFor(p, nodes)
+	sw := swFactor(a.kernelSW, p)
+	return program(a.name, p, n, iterations, []job.Phase{
+		{Name: "scattering-invert", Kind: job.Compute, Precision: gpu.FP64,
+			Flops: nominalStepSeconds * float64(p.FP64Dense) * sw},
+		{Name: "potential-bcast", Kind: job.Collective, Op: job.Broadcast, Payload: 8 * units.MiB},
+		{Name: "energy-allreduce", Kind: job.Collective, Op: job.Allreduce, Payload: 1 * units.MiB},
+	}), nil
+}
+
+// Program implements ProgramBuilder: bandwidth-bound particle pushes
+// with a particle-migration halo.
+func (a *PIConGPU) Program(p *Platform, nodes, iterations int) (*job.Program, error) {
+	n := a.nodesFor(p, nodes)
+	return program(a.name, p, n, iterations, []job.Phase{
+		{Name: "particle-push", Kind: job.Compute,
+			Bytes: units.Bytes(nominalStepSeconds * float64(p.MemBW) * swFactor(a.weakEff, p))},
+		{Name: "particle-halo", Kind: job.Collective, Op: job.Halo, Payload: 8 * units.MiB},
+	}), nil
+}
+
+// Program implements ProgramBuilder: HBM-bound hydro sweeps over a grid
+// sized to device memory, plus the ghost-cell exchange.
+func (a *Cholla) Program(p *Platform, nodes, iterations int) (*job.Program, error) {
+	n := a.nodesFor(p, nodes)
+	// Cells per device from the bandwidth model's traffic constant; the
+	// ghost face is one layer of conserved fields (5 × 8 B) per cell.
+	cellsPerDevice := nominalStepSeconds * float64(p.MemBW) * a.cellsPerByte * swFactor(a.algoSW, p)
+	side := math.Cbrt(cellsPerDevice)
+	face := units.Bytes(side * side * 5 * 8)
+	return program(a.name, p, n, iterations, []job.Phase{
+		{Name: "hydro-sweep", Kind: job.Compute,
+			Bytes: units.Bytes(nominalStepSeconds * float64(p.MemBW))},
+		{Name: "ghost-exchange", Kind: job.Collective, Op: job.Halo, Payload: face},
+	}), nil
+}
+
+// Program implements ProgramBuilder: the pseudo-spectral step — GPU FFT
+// passes over the local slab, then the transpose all-to-alls that
+// dominate at scale. The grid comes from the same table Run uses.
+func (a *GESTS) Program(p *Platform, nodes, iterations int) (*job.Program, error) {
+	n := a.nodesFor(p, nodes)
+	N, ok := a.grids[p.Name]
+	if !ok {
+		mem := float64(p.MemCap) * float64(p.DevicesPerNode) * float64(n) * 0.8
+		N = int(math.Cbrt(mem / 40))
+	}
+	points := float64(N) * float64(N) * float64(N)
+	ranks := n * p.DevicesPerNode
+	perDeviceBytes := points * 8 / float64(ranks)
+	// Each transpose sends the local slab split across the other ranks;
+	// the per-pair payload times (ranks-1) recovers the slab volume.
+	pair := perDeviceBytes * a.nTranspose / float64(ranks-1)
+	if ranks < 2 {
+		pair = 0
+	}
+	return program(a.name, p, n, iterations, []job.Phase{
+		{Name: "fft-passes", Kind: job.Compute, Bytes: units.Bytes(a.fftPass * perDeviceBytes)},
+		{Name: "transpose-a2a", Kind: job.Collective, Op: job.AllToAll, Payload: units.Bytes(pair)},
+	}), nil
+}
+
+// Program implements ProgramBuilder: memory-bound MHD sweeps on an
+// HBM-filling grid with the six-face field halo.
+func (a *AthenaPK) Program(p *Platform, nodes, iterations int) (*job.Program, error) {
+	n := a.nodesFor(p, nodes)
+	cellsPerDevice := 0.8 * float64(p.MemCap) / a.bytesPerCellStore
+	traffic := a.trafficPerUpdate[p.Name]
+	if traffic == 0 {
+		traffic = 500
+	}
+	side := math.Cbrt(cellsPerDevice)
+	face := units.Bytes(side * side * a.fields * 8 * 2)
+	return program(a.name, p, n, iterations, []job.Phase{
+		{Name: "mhd-sweep", Kind: job.Compute, Bytes: units.Bytes(cellsPerDevice * traffic)},
+		{Name: "field-halo", Kind: job.Collective, Op: job.Halo, Payload: face},
+	}), nil
+}
+
+// Program implements ProgramBuilder: bandwidth-bound electromagnetic PIC
+// with a field halo and a periodic diagnostics reduction.
+func (a *WarpX) Program(p *Platform, nodes, iterations int) (*job.Program, error) {
+	n := a.nodesFor(p, nodes)
+	return program(a.name, p, n, iterations, []job.Phase{
+		{Name: "pic-push", Kind: job.Compute,
+			Bytes: units.Bytes(nominalStepSeconds * float64(p.MemBW))},
+		{Name: "field-halo", Kind: job.Collective, Op: job.Halo, Payload: 4 * units.MiB},
+		{Name: "diag-allreduce", Kind: job.Collective, Op: job.Allreduce, Payload: 256 * units.KiB},
+	}), nil
+}
+
+// Program implements ProgramBuilder: FP32 force kernels plus the
+// particle-mesh FFT's all-to-all.
+func (a *ExaSky) Program(p *Platform, nodes, iterations int) (*job.Program, error) {
+	n := a.nodesFor(p, nodes)
+	ranks := n * p.DevicesPerNode
+	pair := 0.0
+	if ranks > 1 {
+		// The Poisson-solve transpose moves a mesh sized well below the
+		// particle data: ~256 MB per rank split across peers.
+		pair = 256e6 / float64(ranks-1)
+	}
+	return program(a.name, p, n, iterations, []job.Phase{
+		{Name: "force-kernels", Kind: job.Compute, Precision: gpu.FP32,
+			Flops: nominalStepSeconds * float64(p.FP32Dense) * swFactor(a.kernelSW, p)},
+		{Name: "pm-fft-a2a", Kind: job.Collective, Op: job.AllToAll, Payload: units.Bytes(pair)},
+	}), nil
+}
+
+// Program implements ProgramBuilder: embarrassingly parallel SNAP
+// replicas — almost pure FP64 compute, with only the tiny ParSplice
+// segment hand-off.
+func (a *EXAALT) Program(p *Platform, nodes, iterations int) (*job.Program, error) {
+	n := a.nodesFor(p, nodes)
+	return program(a.name, p, n, iterations, []job.Phase{
+		{Name: "snap-md", Kind: job.Compute, Precision: gpu.FP64,
+			Flops: nominalStepSeconds * float64(p.FP64Dense) * swFactor(a.snapEff, p), Efficiency: swFactor(a.snapEff, p)},
+		{Name: "splice-handoff", Kind: job.Collective, Op: job.SendRecv, Payload: 64 * units.KiB},
+	}), nil
+}
+
+// Program implements ProgramBuilder: the coupled Monte-Carlo/CFD step —
+// both bandwidth bound — with the coupling field exchange between them.
+func (a *ExaSMR) Program(p *Platform, nodes, iterations int) (*job.Program, error) {
+	n := a.nodesFor(p, nodes)
+	return program(a.name, p, n, iterations, []job.Phase{
+		{Name: "shift-transport", Kind: job.Compute,
+			Bytes: units.Bytes(nominalStepSeconds * float64(p.MemBW))},
+		{Name: "coupling-exchange", Kind: job.Collective, Op: job.AllGather, Payload: 2 * units.MiB},
+		{Name: "nekrs-solve", Kind: job.Compute,
+			Bytes: units.Bytes(nominalStepSeconds * float64(p.MemBW))},
+		{Name: "pressure-allreduce", Kind: job.Collective, Op: job.Allreduce, Payload: 512 * units.KiB},
+	}), nil
+}
+
+// Program implements ProgramBuilder: coupled core-edge gyrokinetics —
+// FP32 particle pushes in both codes with the overlap-region field
+// exchange between them.
+func (a *WDMApp) Program(p *Platform, nodes, iterations int) (*job.Program, error) {
+	n := a.nodesFor(p, nodes)
+	sw := swFactor(a.codeSW, p)
+	return program(a.name, p, n, iterations, []job.Phase{
+		{Name: "gene-core-push", Kind: job.Compute, Precision: gpu.FP32,
+			Flops: nominalStepSeconds * float64(p.FP32Dense) * sw / 2},
+		{Name: "overlap-exchange", Kind: job.Collective, Op: job.AllGather, Payload: 4 * units.MiB},
+		{Name: "xgc-edge-push", Kind: job.Compute, Precision: gpu.FP32,
+			Flops: nominalStepSeconds * float64(p.FP32Dense) * sw / 2},
+	}), nil
+}
+
+// ProgramApps returns every application that builds job programs, in
+// Table 6 + Table 7 order.
+func ProgramApps() []ProgramBuilder {
+	return []ProgramBuilder{
+		NewCoMet(), NewLSMS(), NewPIConGPU(), NewCholla(), NewGESTS(), NewAthenaPK(),
+		NewWarpX(), NewExaSky(), NewEXAALT(), NewExaSMR(), NewWDMApp(),
+	}
+}
+
+// BuildProgram is the convenience entry campaigns use: resolve an app by
+// name and build its program.
+func BuildProgram(name string, p *Platform, nodes, iterations int) (*job.Program, error) {
+	for _, a := range ProgramApps() {
+		if a.Name() == name {
+			return a.Program(p, nodes, iterations)
+		}
+	}
+	return nil, fmt.Errorf("apps: no program builder named %q", name)
+}

@@ -12,6 +12,7 @@ import (
 	"frontiersim/internal/fabric"
 	"frontiersim/internal/gpu"
 	"frontiersim/internal/hpl"
+	"frontiersim/internal/job"
 	"frontiersim/internal/machine"
 	"frontiersim/internal/node"
 	"frontiersim/internal/power"
@@ -79,6 +80,16 @@ func New(spec machine.Spec, seed int64) (*System, error) {
 			if s.Orion, err = spec.Orion(); err != nil {
 				return nil, fmt.Errorf("core: building orion: %w", err)
 			}
+		}
+	}
+	if s.Scheduler != nil {
+		// Phase-structured jobs price their programs against the same
+		// fabric and storage instances the rest of the system mutates.
+		s.Scheduler.Env = &job.Env{
+			Node:      spec.NodeModel(),
+			Fabric:    f,
+			NodeLocal: s.NodeLocal,
+			Orion:     s.Orion,
 		}
 	}
 	if spec.Power != nil {

@@ -112,6 +112,8 @@ func Registry() []Runner {
 		{"ext-inventory", "Extension: dragonfly vs Clos ports and cables", ExtInventory, 0.1},
 		{"ext-miniapps", "Extension: real kernels validated + roofline-predicted", ExtMiniapps, 0.1},
 		{"ext-sharded", "Extension: sharded parallel kernel (per-group LPs, conservative lookahead)", ExtSharded, 0.3},
+		{"ext-llm", "Extension: LLM training scaling, phase-structured programs", ExtLLM, 0.5},
+		{"ext-campaign", "Extension: a campaign week of phase-structured jobs", ExtCampaign, 0.5},
 	}
 }
 

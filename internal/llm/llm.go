@@ -1,0 +1,248 @@
+// Package llm builds phase-structured training-step programs for
+// transformer language models — the ROADMAP's LLM workload family — on
+// top of the job-program layer: 3-D (tensor/pipeline/data) parallelism
+// whose collective payloads are sized from the model's GEMM shards and
+// whose microbatch is bounded by device HBM capacity. Nothing here knows
+// about placement: the program records *what* the step moves, and the
+// scheduler's granted allocation prices it through mpi.Comm, so
+// tokens/sec responds to topology and link-rate what-ifs for free.
+package llm
+
+import (
+	"fmt"
+
+	"frontiersim/internal/gpu"
+	"frontiersim/internal/job"
+	"frontiersim/internal/units"
+)
+
+// Model is a decoder-only transformer sized by its defining dimensions.
+type Model struct {
+	Name   string
+	Layers int
+	Hidden int
+	Vocab  int
+	SeqLen int
+}
+
+// Params is the parameter count: per layer, the attention block holds
+// 4H² weights (QKV + output projection) and the 4x-expansion MLP 8H²,
+// plus the tied vocabulary embedding.
+func (m Model) Params() float64 {
+	h := float64(m.Hidden)
+	return float64(m.Layers)*12*h*h + float64(m.Vocab)*h
+}
+
+// Parallelism is the 3-D decomposition: TP ranks shard each layer's
+// GEMMs, PP ranks split the layer stack into stages, DP ranks replicate
+// the model over the data. Ranks are laid out TP-fastest (tensor groups
+// pack inside a node), then PP, then DP.
+type Parallelism struct {
+	TP, PP, DP int
+}
+
+// Ranks is the total rank count.
+func (p Parallelism) Ranks() int { return p.TP * p.PP * p.DP }
+
+// Config sizes one training step.
+type Config struct {
+	Model Model
+	Par   Parallelism
+	// PPN is ranks per node (devices per node).
+	PPN int
+	// GlobalBatch is the step's batch in sequences across all DP replicas.
+	GlobalBatch int
+	// Node bounds the microbatch: HBM capacity per device.
+	Node job.NodeModel
+	// MFU is the model flops utilisation of the GEMM shards (0 means a
+	// conservative 0.5 — roughly what large dense training sustains).
+	MFU float64
+}
+
+// Training memory per parameter on a mixed-precision Adam stack: FP16
+// weights and gradients (2+2), FP32 master weights (4), and the two
+// FP32 optimizer moments (8).
+const bytesPerParam = 18
+
+// bytesPerActivation is the activation memory per token per layer in
+// units of Hidden, the standard ~34·s·b·h estimate without recomputation.
+const bytesPerActivation = 34
+
+// Step is a sized training step: the phase-structured program plus the
+// derived quantities campaigns report.
+type Step struct {
+	Program *job.Program
+	// Nodes is the allocation the program needs.
+	Nodes int
+	// MicroBatch is sequences per microbatch per DP replica, bounded by
+	// HBM; MicroSteps is the pipeline depth per training step.
+	MicroBatch int
+	MicroSteps int
+	// TokensPerStep is GlobalBatch · SeqLen.
+	TokensPerStep float64
+	// PipelineEff is 1 minus the pipeline bubble fraction.
+	PipelineEff float64
+	// ParamsPerDevice is the model shard each device holds.
+	ParamsPerDevice float64
+	// CheckpointBytes is one FP16 copy of the whole model, the aggregate
+	// defensive write WithSteps schedules.
+	CheckpointBytes units.Bytes
+}
+
+// TrainStep sizes one training step of the model under the given
+// parallelism on the given node hardware. It fails when the shard does
+// not fit HBM even at microbatch 1, or the decomposition does not divide
+// the model.
+func TrainStep(cfg Config) (*Step, error) {
+	m, par := cfg.Model, cfg.Par
+	if par.TP < 1 || par.PP < 1 || par.DP < 1 {
+		return nil, fmt.Errorf("llm: parallelism %+v must be positive", par)
+	}
+	if m.Layers%par.PP != 0 {
+		return nil, fmt.Errorf("llm: %d layers do not divide into %d pipeline stages", m.Layers, par.PP)
+	}
+	if m.Hidden%par.TP != 0 {
+		return nil, fmt.Errorf("llm: hidden %d does not shard %d ways", m.Hidden, par.TP)
+	}
+	ranks := par.Ranks()
+	if cfg.PPN < 1 || ranks%cfg.PPN != 0 {
+		return nil, fmt.Errorf("llm: %d ranks do not fill nodes of %d devices", ranks, cfg.PPN)
+	}
+	if cfg.GlobalBatch < par.DP {
+		return nil, fmt.Errorf("llm: global batch %d smaller than %d DP replicas", cfg.GlobalBatch, par.DP)
+	}
+	nodes := ranks / cfg.PPN
+	mfu := cfg.MFU
+	if mfu <= 0 || mfu > 1 {
+		mfu = 0.5
+	}
+
+	// HBM bound: static shard (params, grads, optimizer) plus activation
+	// memory linear in the microbatch. 90% of capacity is usable.
+	paramsPerDevice := m.Params() / float64(par.TP*par.PP)
+	static := paramsPerDevice * bytesPerParam
+	layersPerStage := m.Layers / par.PP
+	actPerSeq := float64(bytesPerActivation) * float64(m.SeqLen) * float64(m.Hidden) *
+		float64(layersPerStage) / float64(par.TP)
+	usable := 0.9*float64(cfg.Node.MemCap) - static
+	if usable < actPerSeq {
+		return nil, fmt.Errorf("llm: %s shard (%.1f GB static + %.2f GB/seq) exceeds %.0f GB HBM at TP=%d PP=%d",
+			m.Name, static/1e9, actPerSeq/1e9, float64(cfg.Node.MemCap)/1e9, par.TP, par.PP)
+	}
+	micro := int(usable / actPerSeq)
+	perReplica := (cfg.GlobalBatch + par.DP - 1) / par.DP
+	if micro > perReplica {
+		micro = perReplica
+	}
+	microSteps := (perReplica + micro - 1) / micro
+	bubble := float64(par.PP-1) / float64(microSteps+par.PP-1)
+	pipeEff := 1 - bubble
+
+	// Compute: 6 flops per parameter per token (forward + backward),
+	// sharded over TP·PP·DP; the pipeline bubble stretches it.
+	tokensPerStep := float64(cfg.GlobalBatch) * float64(m.SeqLen)
+	flopsPerDevice := 6 * m.Params() * tokensPerStep / float64(ranks)
+
+	// Collective payloads per rank per step, FP16 on the wire.
+	microTokens := float64(micro) * float64(m.SeqLen)
+	actBytes := microTokens * float64(m.Hidden) * 2
+	// Megatron TP: two all-reduces forward and two backward per layer.
+	tpBytes := units.Bytes(4 * float64(layersPerStage) * actBytes * float64(microSteps))
+	// PP: activations forward and gradients backward per microbatch.
+	ppBytes := units.Bytes(2 * actBytes * float64(microSteps))
+	// DP: one gradient all-reduce of the FP16 shard per step.
+	dpBytes := units.Bytes(paramsPerDevice * 2)
+
+	loop := []job.Phase{
+		{Name: "fwd-bwd-gemm", Kind: job.Compute, Precision: gpu.FP16, MatrixCores: true,
+			Flops: flopsPerDevice, Efficiency: mfu * pipeEff},
+	}
+	if par.TP > 1 {
+		loop = append(loop, job.Phase{Name: "tp-allreduce", Kind: job.Collective,
+			Op: job.Allreduce, Payload: tpBytes, Group: job.Group{Size: par.TP}})
+	}
+	if par.PP > 1 {
+		loop = append(loop, job.Phase{Name: "pp-sendrecv", Kind: job.Collective,
+			Op: job.SendRecv, Payload: ppBytes, PeerStride: par.TP})
+	}
+	if par.DP > 1 {
+		loop = append(loop, job.Phase{Name: "dp-gradsync", Kind: job.Collective,
+			Op: job.Allreduce, Payload: dpBytes,
+			Group: job.Group{Size: par.DP, Stride: par.TP * par.PP}})
+	}
+	prog := &job.Program{
+		Name:  fmt.Sprintf("%s-tp%d-pp%d-dp%d", m.Name, par.TP, par.PP, par.DP),
+		Class: "llm-train",
+		Nodes: nodes,
+		PPN:   cfg.PPN,
+		Setup: []job.Phase{
+			{Name: "restore-weights", Kind: job.IO, Read: units.Bytes(m.Params() * 2)},
+		},
+		Iterations: 1,
+		Loop:       loop,
+	}
+	return &Step{
+		Program:         prog,
+		Nodes:           nodes,
+		MicroBatch:      micro,
+		MicroSteps:      microSteps,
+		TokensPerStep:   tokensPerStep,
+		PipelineEff:     pipeEff,
+		ParamsPerDevice: paramsPerDevice,
+		CheckpointBytes: units.Bytes(m.Params() * 2),
+	}, nil
+}
+
+// WithSteps returns a copy of the step's program looping for the given
+// number of training steps, checkpointing every ckptEvery steps (0
+// disables checkpointing). The checkpoint writes one FP16 copy of the
+// model — the TP·PP shards are unique, DP replicas share them.
+func (s *Step) WithSteps(steps, ckptEvery int) *job.Program {
+	p := *s.Program
+	p.Iterations = steps
+	if ckptEvery > 0 {
+		return job.Checkpointed(&p, s.CheckpointBytes, ckptEvery)
+	}
+	return &p
+}
+
+// AutoParallelism picks a 3-D decomposition for a node count: tensor
+// parallelism fills the node (TP = ppn, the high-bandwidth domain),
+// pipeline stages take the largest power of two ≤ 8 that divides both
+// the layer count and the node count, and data parallelism covers the
+// rest.
+func AutoParallelism(m Model, nodes, ppn int) Parallelism {
+	pp := 1
+	for _, cand := range []int{8, 4, 2} {
+		if m.Layers%cand == 0 && nodes%cand == 0 {
+			pp = cand
+			break
+		}
+	}
+	return Parallelism{TP: ppn, PP: pp, DP: nodes / pp}
+}
+
+// AutoStep sizes a training step for an arbitrary node count using
+// AutoParallelism and a global batch of 64 sequences per DP replica —
+// deep enough that the pipeline bubble stays modest.
+func AutoStep(m Model, nodes, ppn int, node job.NodeModel) (*Step, error) {
+	par := AutoParallelism(m, nodes, ppn)
+	return TrainStep(Config{
+		Model:       m,
+		Par:         par,
+		PPN:         ppn,
+		GlobalBatch: 64 * par.DP,
+		Node:        node,
+	})
+}
+
+// Frontier175B is a GPT-3-class reference model sized to exercise the
+// full machine.
+func Frontier175B() Model {
+	return Model{Name: "gpt-175b", Layers: 96, Hidden: 12288, Vocab: 51200, SeqLen: 2048}
+}
+
+// Frontier22B is a mid-size model that fits modest allocations.
+func Frontier22B() Model {
+	return Model{Name: "gpt-22b", Layers: 48, Hidden: 6144, Vocab: 51200, SeqLen: 2048}
+}

@@ -1,0 +1,151 @@
+package llm_test
+
+import (
+	"strings"
+	"testing"
+
+	"frontiersim/internal/job"
+	"frontiersim/internal/llm"
+	"frontiersim/internal/machine"
+	"frontiersim/internal/units"
+)
+
+func frontierNode() job.NodeModel { return machine.Frontier().NodeModel() }
+
+func TestTrainStepShapes(t *testing.T) {
+	s, err := llm.TrainStep(llm.Config{
+		Model: llm.Frontier175B(),
+		Par:   llm.Parallelism{TP: 8, PP: 8, DP: 4},
+		PPN:   8, GlobalBatch: 256, Node: frontierNode(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes != 8*8*4/8 {
+		t.Errorf("Nodes = %d, want 32", s.Nodes)
+	}
+	if s.TokensPerStep != 256*2048 {
+		t.Errorf("TokensPerStep = %g", s.TokensPerStep)
+	}
+	if s.PipelineEff <= 0 || s.PipelineEff > 1 {
+		t.Errorf("PipelineEff = %g", s.PipelineEff)
+	}
+	if err := s.Program.Validate(); err != nil {
+		t.Fatalf("generated program invalid: %v", err)
+	}
+	// All three parallel dimensions > 1: expect all three collectives.
+	var names []string
+	for _, ph := range s.Program.Loop {
+		names = append(names, ph.Name)
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"fwd-bwd-gemm", "tp-allreduce", "pp-sendrecv", "dp-gradsync"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("loop %v missing phase %s", names, want)
+		}
+	}
+}
+
+func TestTrainStepDegenerateDimsDropPhases(t *testing.T) {
+	s, err := llm.TrainStep(llm.Config{
+		Model: llm.Frontier22B(),
+		Par:   llm.Parallelism{TP: 8, PP: 1, DP: 2},
+		PPN:   8, GlobalBatch: 32, Node: frontierNode(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range s.Program.Loop {
+		if ph.Name == "pp-sendrecv" {
+			t.Error("PP=1 still emits a pipeline phase")
+		}
+	}
+}
+
+func TestTrainStepRejectsBadDecompositions(t *testing.T) {
+	node := frontierNode()
+	cases := []llm.Config{
+		// PP does not divide the layer stack.
+		{Model: llm.Frontier175B(), Par: llm.Parallelism{TP: 8, PP: 7, DP: 1}, PPN: 8, GlobalBatch: 8, Node: node},
+		// TP does not shard the hidden dim.
+		{Model: llm.Frontier175B(), Par: llm.Parallelism{TP: 5, PP: 1, DP: 1}, PPN: 5, GlobalBatch: 8, Node: node},
+		// Ranks do not fill nodes.
+		{Model: llm.Frontier175B(), Par: llm.Parallelism{TP: 4, PP: 3, DP: 1}, PPN: 8, GlobalBatch: 8, Node: node},
+		// Batch smaller than DP.
+		{Model: llm.Frontier175B(), Par: llm.Parallelism{TP: 8, PP: 8, DP: 8}, PPN: 8, GlobalBatch: 4, Node: node},
+		// 175B without sharding cannot fit one device's HBM.
+		{Model: llm.Frontier175B(), Par: llm.Parallelism{TP: 1, PP: 1, DP: 8}, PPN: 8, GlobalBatch: 64, Node: node},
+	}
+	for i, cfg := range cases {
+		if _, err := llm.TrainStep(cfg); err == nil {
+			t.Errorf("case %d: accepted %+v", i, cfg.Par)
+		}
+	}
+}
+
+// The HBM bound is real: shrinking device memory shrinks the microbatch
+// and deepens the pipeline.
+func TestMicroBatchBoundedByHBM(t *testing.T) {
+	node := frontierNode()
+	big, err := llm.TrainStep(llm.Config{
+		Model: llm.Frontier22B(), Par: llm.Parallelism{TP: 8, PP: 2, DP: 1},
+		PPN: 8, GlobalBatch: 64, Node: node,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.MemCap /= 2
+	small, err := llm.TrainStep(llm.Config{
+		Model: llm.Frontier22B(), Par: llm.Parallelism{TP: 8, PP: 2, DP: 1},
+		PPN: 8, GlobalBatch: 64, Node: node,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.MicroBatch >= big.MicroBatch {
+		t.Errorf("half HBM: microbatch %d, full HBM %d", small.MicroBatch, big.MicroBatch)
+	}
+	if small.MicroSteps <= big.MicroSteps {
+		t.Errorf("half HBM: microsteps %d, full HBM %d", small.MicroSteps, big.MicroSteps)
+	}
+}
+
+func TestWithStepsCheckpointing(t *testing.T) {
+	s, err := llm.AutoStep(llm.Frontier22B(), 16, 8, frontierNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := s.WithSteps(100, 0)
+	if plain.Iterations != 100 || len(plain.Loop) != len(s.Program.Loop) {
+		t.Errorf("plain WithSteps reshaped the loop: %d iterations, %d phases", plain.Iterations, len(plain.Loop))
+	}
+	ck := s.WithSteps(100, 10)
+	last := ck.Loop[len(ck.Loop)-1]
+	if last.Kind != job.Checkpoint || last.Write != s.CheckpointBytes {
+		t.Errorf("checkpoint phase missing or mis-sized: %+v", last)
+	}
+	if s.CheckpointBytes != units.Bytes(llm.Frontier22B().Params()*2) {
+		t.Errorf("CheckpointBytes %v != one FP16 model copy", s.CheckpointBytes)
+	}
+}
+
+func TestAutoParallelismCovers(t *testing.T) {
+	m := llm.Frontier175B()
+	for _, nodes := range []int{1, 2, 6, 16, 64, 500, 1024} {
+		par := llm.AutoParallelism(m, nodes, 8)
+		if par.Ranks() != nodes*8 {
+			t.Errorf("%d nodes: decomposition %+v covers %d ranks, want %d", nodes, par, par.Ranks(), nodes*8)
+		}
+		if m.Layers%par.PP != 0 {
+			t.Errorf("%d nodes: PP %d does not divide %d layers", nodes, par.PP, m.Layers)
+		}
+	}
+}
+
+func TestParamsCount(t *testing.T) {
+	// GPT-3 175B: 96 layers, h=12288 → ~175e9 params.
+	p := llm.Frontier175B().Params()
+	if p < 170e9 || p > 180e9 {
+		t.Errorf("Frontier175B params = %g, want ~175e9", p)
+	}
+}

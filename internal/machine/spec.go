@@ -19,6 +19,7 @@ import (
 	"frontiersim/internal/apps"
 	"frontiersim/internal/fabric"
 	"frontiersim/internal/hpl"
+	"frontiersim/internal/job"
 	"frontiersim/internal/power"
 	"frontiersim/internal/resilience"
 	"frontiersim/internal/software"
@@ -578,6 +579,41 @@ func (s Spec) Platform() *apps.Platform {
 	spec := s // capture by value: the platform builds its fabric lazily
 	p.SetFabricBuilder(spec.NewFabric)
 	return p
+}
+
+// NodeModel derives the job layer's compute-node pricing model from the
+// same NodeSpec the application proxies use.
+func (s Spec) NodeModel() job.NodeModel {
+	return job.NodeModel{
+		Devices: s.Node.DevicesPerNode,
+		FP64:    s.Node.FP64Dense,
+		FP32:    s.Node.FP32Dense,
+		FP16:    s.Node.FP16Dense,
+		MemBW:   s.Node.MemBW,
+		MemCap:  s.Node.MemCap,
+	}
+}
+
+// JobEnv derives the environment phase-structured job programs are
+// priced against, sharing an already-built fabric instance (the env must
+// see the same link state the transport layer mutates). Storage tiers
+// are wired when the spec carries them; a spec without storage yields an
+// env that prices compute and collective phases only.
+func (s Spec) JobEnv(f *fabric.Fabric) (*job.Env, error) {
+	env := &job.Env{Node: s.NodeModel(), Fabric: f}
+	if s.Storage != nil {
+		nl, err := s.NodeLocal()
+		if err != nil {
+			return nil, err
+		}
+		env.NodeLocal = nl
+		if s.Storage.Orion != nil {
+			if env.Orion, err = s.Orion(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return env, nil
 }
 
 // SoftwareEnv derives the programming environment.

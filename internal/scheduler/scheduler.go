@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"frontiersim/internal/fabric"
+	"frontiersim/internal/job"
 	"frontiersim/internal/sim"
 	"frontiersim/internal/units"
 )
@@ -26,6 +27,10 @@ const (
 	Completed
 	Failed
 	Cancelled
+	// Timeout is a phase-structured job killed at its requested walltime
+	// before its program finished (duration-blob jobs end exactly at
+	// their walltime and complete normally).
+	Timeout
 )
 
 // String implements fmt.Stringer.
@@ -41,16 +46,26 @@ func (s JobState) String() string {
 		return "failed"
 	case Cancelled:
 		return "cancelled"
+	case Timeout:
+		return "timeout"
 	}
 	return fmt.Sprintf("JobState(%d)", int(s))
 }
 
-// Job is one batch job.
+// Job is one batch job. A duration-blob job (Program == nil) runs for
+// exactly Walltime; a phase-structured job carries a Program whose
+// runtime is derived by binding it to the allocation the scheduler
+// actually grants — Walltime is then the *requested* limit quoted from a
+// nominal spread placement, and the delivered runtime emerges from the
+// placement's collective performance.
 type Job struct {
 	ID       int
 	Name     string
 	Nodes    int
 	Walltime units.Seconds
+
+	// Program, when set, makes this a phase-structured job.
+	Program *job.Program
 
 	State  JobState
 	Submit units.Seconds
@@ -63,7 +78,26 @@ type Job struct {
 	// OnComplete, if set, runs when the job finishes (any final state).
 	OnComplete func(*Job)
 
+	// Bound is the program priced on the granted allocation (program
+	// jobs only, set at start).
+	Bound *job.Bound
+	// LostWork is the simulated time since the last completed checkpoint
+	// at the moment the job failed — the work an interrupt destroyed.
+	LostWork units.Seconds
+	// Checkpoints is the count of checkpoint phases the job completed.
+	Checkpoints int
+
+	exec     *job.Exec
 	endEvent sim.Event
+}
+
+// Class returns the workload stratum label (program jobs) or the job
+// name (blob jobs).
+func (j *Job) Class() string {
+	if j.Program != nil && j.Program.Class != "" {
+		return j.Program.Class
+	}
+	return j.Name
 }
 
 // GroupsSpanned reports how many dragonfly groups the allocation touches.
@@ -80,6 +114,11 @@ type Scheduler struct {
 	K *sim.Kernel
 	F *fabric.Fabric
 
+	// Env, when set, lets the scheduler accept phase-structured jobs via
+	// SubmitProgram: it quotes requested walltimes from a nominal spread
+	// placement and re-prices each program on its granted allocation.
+	Env *job.Env
+
 	nodesPerGroup int
 	groups        int
 	totalNodes    int
@@ -91,6 +130,9 @@ type Scheduler struct {
 	running   map[int]*Job
 	nextJobID int
 	vni       *vniPool
+	// scratch is a per-node membership bitmap reused by place's second
+	// pass; it is always all-false between calls.
+	scratch []bool
 
 	// Stats.
 	Started, Finished, FailedJobs, HealthRejects int
@@ -111,6 +153,7 @@ func New(k *sim.Kernel, f *fabric.Fabric) *Scheduler {
 		running:       map[int]*Job{},
 		nextJobID:     1,
 		vni:           newVNIPool(1, 65535),
+		scratch:       make([]bool, total),
 	}
 	for i := range s.free {
 		s.free[i] = true
@@ -172,6 +215,40 @@ func (s *Scheduler) Submit(name string, nodes int, walltime units.Seconds, onCom
 		Name:       name,
 		Nodes:      nodes,
 		Walltime:   walltime,
+		State:      Pending,
+		Submit:     s.K.Now(),
+		OnComplete: onComplete,
+	}
+	s.nextJobID++
+	s.queue = append(s.queue, j)
+	s.trySchedule()
+	return j, nil
+}
+
+// walltimeMargin is the slack a phase-structured job requests over its
+// nominal estimate, covering the spread between the quoted placement and
+// the one actually granted (users pad their Slurm walltimes the same way).
+const walltimeMargin = 1.25
+
+// SubmitProgram enqueues a phase-structured job. The requested walltime
+// is derived from the program itself — priced on a nominal spread
+// placement and padded by walltimeMargin — so callers never supply a
+// duration; the delivered runtime is whatever the granted placement
+// yields.
+func (s *Scheduler) SubmitProgram(p *job.Program, onComplete func(*Job)) (*Job, error) {
+	if s.Env == nil {
+		return nil, fmt.Errorf("scheduler: no job env configured, cannot accept program %q", p.Name)
+	}
+	est, err := s.Env.Estimate(p)
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{
+		ID:         s.nextJobID,
+		Name:       p.Name,
+		Nodes:      p.Nodes,
+		Walltime:   est * walltimeMargin,
+		Program:    p,
 		State:      Pending,
 		Submit:     s.K.Now(),
 		OnComplete: onComplete,
@@ -283,8 +360,35 @@ func (s *Scheduler) start(j *Job) bool {
 	s.freeCount -= len(alloc)
 	s.running[j.ID] = j
 	s.Started++
-	j.endEvent = s.K.At(j.End, func() { s.finish(j, Completed) })
+	if j.Program != nil {
+		s.launch(j)
+	} else {
+		j.endEvent = s.K.At(j.End, func() { s.finish(j, Completed) })
+	}
 	return true
+}
+
+// launch binds a program job to its granted allocation and begins
+// executing it on the event kernel. Completion is driven by the
+// program's last phase boundary; the requested walltime survives only as
+// a kill limit, exactly like Slurm's TIMEOUT.
+func (s *Scheduler) launch(j *Job) {
+	bound, err := s.Env.Bind(j.Program, j.Alloc)
+	if err != nil {
+		// A program that cannot be priced on real nodes is a launch
+		// failure, not a scheduler crash. Failing via an immediate event
+		// keeps finish() out of the trySchedule loop that called start.
+		j.endEvent = s.K.After(0, func() { s.finish(j, Failed) })
+		return
+	}
+	j.Bound = bound
+	if bound.Total <= j.Walltime {
+		j.End = j.Start + bound.Total
+	}
+	j.exec = (&job.Exec{Bound: bound, K: s.K, OnDone: func() { s.finish(j, Completed) }}).Start()
+	if bound.Total > j.Walltime {
+		j.endEvent = s.K.At(j.Start+j.Walltime, func() { s.finish(j, Timeout) })
+	}
 }
 
 func (s *Scheduler) finish(j *Job, state JobState) {
@@ -292,6 +396,15 @@ func (s *Scheduler) finish(j *Job, state JobState) {
 		return
 	}
 	j.endEvent.Cancel()
+	if j.exec != nil {
+		// Interrupts and kills land mid-phase: charge the work since the
+		// last completed checkpoint before abandoning the partial phase.
+		if state != Completed {
+			j.LostWork = j.exec.LostWork()
+		}
+		j.Checkpoints = j.exec.Checkpoints
+		j.exec.Stop()
+	}
 	j.State = state
 	j.End = s.K.Now()
 	delete(s.running, j.ID)
@@ -377,11 +490,23 @@ func (s *Scheduler) place(n int) []int {
 		alloc = append(alloc, s.takeFromGroup(g.id, take)...)
 		remaining -= take
 	}
-	// Second pass: whatever is left, wherever it fits.
-	for node := 0; node < s.totalNodes && remaining > 0; node++ {
-		if s.free[node] && !s.unhealthy[node] && !contains(alloc, node) {
-			alloc = append(alloc, node)
-			remaining--
+	// Second pass: whatever is left, wherever it fits. The scratch
+	// bitmap makes the membership check O(1) per node; the old linear
+	// scan of alloc was quadratic at hero-job scale (9k+ nodes).
+	if remaining > 0 {
+		taken := s.scratch
+		for _, a := range alloc {
+			taken[a] = true
+		}
+		for node := 0; node < s.totalNodes && remaining > 0; node++ {
+			if s.free[node] && !s.unhealthy[node] && !taken[node] {
+				taken[node] = true
+				alloc = append(alloc, node)
+				remaining--
+			}
+		}
+		for _, a := range alloc {
+			taken[a] = false
 		}
 	}
 	if remaining > 0 {
@@ -400,15 +525,6 @@ func (s *Scheduler) takeFromGroup(g, n int) []int {
 		}
 	}
 	return out
-}
-
-func contains(xs []int, v int) bool {
-	for _, x := range xs {
-		if x == v {
-			return true
-		}
-	}
-	return false
 }
 
 // vniPool hands out unique Virtual Network Identifiers.

@@ -11,7 +11,11 @@ import (
 	"fmt"
 	"frontiersim/internal/rng"
 
+	"frontiersim/internal/apps"
 	"frontiersim/internal/core"
+	"frontiersim/internal/job"
+	"frontiersim/internal/llm"
+	"frontiersim/internal/miniapps"
 	"frontiersim/internal/resilience"
 	"frontiersim/internal/scheduler"
 	"frontiersim/internal/units"
@@ -23,10 +27,20 @@ type JobClass struct {
 	// MinFrac and MaxFrac bound the job size as a fraction of the
 	// machine.
 	MinFrac, MaxFrac float64
-	// MeanWalltime is the exponential-mean requested walltime.
+	// MeanWalltime is the exponential-mean requested walltime
+	// (duration-blob classes) or the nominal walltime one iteration
+	// scales against (program classes).
 	MeanWalltime units.Seconds
 	// Weight is the class's share of submissions.
 	Weight float64
+	// ProgramFor, when set, makes this a phase-structured class: each
+	// submission builds a program for the drawn node count and iteration
+	// count, and the scheduler derives the walltime from the program
+	// itself instead of the drawn duration.
+	ProgramFor func(nodes, iterations int) (*job.Program, error)
+	// MeanIterations is the exponential-mean loop count for program
+	// submissions (1 if zero).
+	MeanIterations float64
 }
 
 // LeadershipMix returns a mix shaped like a leadership facility's:
@@ -39,6 +53,55 @@ func LeadershipMix() []JobClass {
 		{Name: "midsize", MinFrac: 0.01, MaxFrac: 0.10, MeanWalltime: 2 * units.Hour, Weight: 0.35},
 		{Name: "capability", MinFrac: 0.20, MaxFrac: 0.50, MeanWalltime: 4 * units.Hour, Weight: 0.20},
 		{Name: "hero", MinFrac: 0.90, MaxFrac: 1.00, MeanWalltime: 6 * units.Hour, Weight: 0.05},
+	}
+}
+
+// ProgramMix returns a phase-structured leadership mix on platform p:
+// the same size fractions and weights as LeadershipMix, but every
+// submission builds a real application program — stencil miniapps for
+// debug jobs, spectral and hydro proxies for the mid strata, LLM
+// training for hero jobs — so runtimes emerge from placement instead of
+// being drawn. Programs are coarsened so even million-step jobs cost the
+// calendar bounded events.
+func ProgramMix(p *apps.Platform, node job.NodeModel) []JobClass {
+	coarse := func(prog *job.Program, err error) (*job.Program, error) {
+		if err != nil {
+			return nil, err
+		}
+		return job.Coarsen(prog, prog.Iterations/64), nil
+	}
+	return []JobClass{
+		// Stencil timesteps run ~100 µs each, so debug jobs draw millions
+		// of them (mean ~15 simulated minutes); the rate-calibrated
+		// proxies step at ~1 s, so their means are hour-scale step counts.
+		{Name: "debug", MinFrac: 0.001, MaxFrac: 0.01, Weight: 0.40, MeanIterations: 5e6,
+			ProgramFor: func(nodes, iters int) (*job.Program, error) {
+				return coarse(miniapps.Heat3DProgram(512, nodes, p.DevicesPerNode, iters))
+			}},
+		{Name: "midsize", MinFrac: 0.01, MaxFrac: 0.10, Weight: 0.35, MeanIterations: 7200,
+			ProgramFor: func(nodes, iters int) (*job.Program, error) {
+				return coarse(apps.BuildProgram("Cholla", p, nodes, iters))
+			}},
+		{Name: "capability", MinFrac: 0.20, MaxFrac: 0.50, Weight: 0.20, MeanIterations: 3600,
+			ProgramFor: func(nodes, iters int) (*job.Program, error) {
+				return coarse(apps.BuildProgram("GESTS", p, nodes, iters))
+			}},
+		{Name: "hero", MinFrac: 0.90, MaxFrac: 1.00, Weight: 0.05, MeanIterations: 5000,
+			ProgramFor: func(nodes, iters int) (*job.Program, error) {
+				// Training wants decomposition-friendly shapes: shrink to
+				// the largest node count AutoParallelism accepts, then
+				// checkpoint once per coarsened pass (~iters/64 steps).
+				for ; nodes >= 1; nodes-- {
+					step, err := llm.AutoStep(llm.Frontier22B(), nodes, p.DevicesPerNode, node)
+					if err != nil {
+						continue
+					}
+					prog := step.WithSteps(iters, 0)
+					prog = job.Coarsen(prog, prog.Iterations/64)
+					return job.Checkpointed(prog, step.CheckpointBytes, 1), nil
+				}
+				return nil, fmt.Errorf("workload: no feasible LLM decomposition")
+			}},
 	}
 }
 
@@ -69,6 +132,9 @@ func DefaultConfig() Config {
 // Stats summarises a campaign.
 type Stats struct {
 	Submitted, Completed, Failed, Unfinished int
+	// Timeouts counts program jobs killed at their requested walltime
+	// before their phases finished.
+	Timeouts int
 	// Utilization is allocated node-time over available node-time.
 	Utilization float64
 	// AvgWait and MaxWait are queue waits of started jobs.
@@ -81,6 +147,17 @@ type Stats struct {
 	MeasuredMTTI units.Seconds
 	// ByClass counts submissions per class.
 	ByClass map[string]int
+	// Requested and Delivered sum the requested and delivered walltimes
+	// of finished jobs: for duration blobs they match by construction,
+	// for program jobs the gap is the placement/estimate spread.
+	Requested, Delivered units.Seconds
+	// SlowdownByClass is the mean bounded slowdown — (wait + run) over
+	// max(run, 1 min) — of finished jobs per class.
+	SlowdownByClass map[string]float64
+	// LostWork sums the work-since-last-checkpoint that interrupts
+	// destroyed; Checkpoints counts completed checkpoint phases.
+	LostWork    units.Seconds
+	Checkpoints int
 }
 
 // Run executes a campaign on the system. The system's kernel is consumed
@@ -88,6 +165,15 @@ type Stats struct {
 func Run(sys *core.System, cfg Config, seed int64) (Stats, error) {
 	if cfg.Duration <= 0 {
 		return Stats{}, fmt.Errorf("workload: duration must be positive")
+	}
+	if cfg.MeanInterarrival <= 0 {
+		// A zero mean makes every interarrival gap zero: the submission
+		// process fires unboundedly at t=0 and the campaign never
+		// advances.
+		return Stats{}, fmt.Errorf("workload: mean interarrival must be positive (got %v)", cfg.MeanInterarrival)
+	}
+	if cfg.RepairTime < 0 {
+		return Stats{}, fmt.Errorf("workload: repair time must not be negative (got %v)", cfg.RepairTime)
 	}
 	mix := cfg.Mix
 	if mix == nil {
@@ -102,10 +188,12 @@ func Run(sys *core.System, cfg Config, seed int64) (Stats, error) {
 	}
 	total := sys.Fabric.Cfg.ComputeNodes()
 	rng := rng.New(seed)
-	stats := Stats{ByClass: map[string]int{}}
+	stats := Stats{ByClass: map[string]int{}, SlowdownByClass: map[string]float64{}}
 
 	var usedNodeSeconds float64
 	var waitSum units.Seconds
+	slowSum := map[string]float64{}
+	slowCount := map[string]int{}
 	started := 0
 	onDone := func(j *scheduler.Job) {
 		switch j.State {
@@ -114,6 +202,20 @@ func Run(sys *core.System, cfg Config, seed int64) (Stats, error) {
 		case scheduler.Failed:
 			stats.Failed++
 			stats.JobInterrupts++
+		case scheduler.Timeout:
+			stats.Timeouts++
+		}
+		if j.State == scheduler.Completed || j.State == scheduler.Failed || j.State == scheduler.Timeout {
+			stats.Requested += j.Walltime
+			stats.Delivered += j.End - j.Start
+			stats.LostWork += j.LostWork
+			stats.Checkpoints += j.Checkpoints
+			run := j.End - j.Start
+			if run < units.Minute {
+				run = units.Minute
+			}
+			slowSum[j.Class()] += float64(j.End-j.Submit) / float64(run)
+			slowCount[j.Class()]++
 		}
 		usedNodeSeconds += float64(len(j.Alloc)) * float64(j.End-j.Start)
 	}
@@ -140,11 +242,29 @@ func Run(sys *core.System, cfg Config, seed int64) (Stats, error) {
 		if nodes < 1 {
 			nodes = 1
 		}
-		wall := units.Seconds(rng.ExpFloat64() * float64(c.MeanWalltime))
-		if wall < units.Minute {
-			wall = units.Minute
+		// Both class shapes consume exactly one exponential draw here, so
+		// adding program classes to a mix never shifts the sequence a
+		// blob-only campaign sees.
+		draw := rng.ExpFloat64()
+		var j *scheduler.Job
+		var err error
+		if c.ProgramFor != nil {
+			meanIters := c.MeanIterations
+			if meanIters <= 0 {
+				meanIters = 1
+			}
+			iters := 1 + int(draw*meanIters)
+			var p *job.Program
+			if p, err = c.ProgramFor(nodes, iters); err == nil {
+				j, err = sys.Scheduler.SubmitProgram(p, onDone)
+			}
+		} else {
+			wall := units.Seconds(draw * float64(c.MeanWalltime))
+			if wall < units.Minute {
+				wall = units.Minute
+			}
+			j, err = sys.Scheduler.Submit(c.Name, nodes, wall, onDone)
 		}
-		j, err := sys.Scheduler.Submit(c.Name, nodes, wall, onDone)
 		if err == nil {
 			stats.Submitted++
 			stats.ByClass[c.Name]++
@@ -154,7 +274,7 @@ func Run(sys *core.System, cfg Config, seed int64) (Stats, error) {
 			// instead track at completion (started jobs only).
 			prev := j.OnComplete
 			j.OnComplete = func(done *scheduler.Job) {
-				if done.State == scheduler.Completed || done.State == scheduler.Failed {
+				if done.State == scheduler.Completed || done.State == scheduler.Failed || done.State == scheduler.Timeout {
 					wait := done.Start - done.Submit
 					waitSum += wait
 					started++
@@ -198,10 +318,13 @@ func Run(sys *core.System, cfg Config, seed int64) (Stats, error) {
 	for _, j := range sys.Scheduler.Running() {
 		usedNodeSeconds += float64(len(j.Alloc)) * float64(sys.Kernel.Now()-j.Start)
 	}
-	stats.Unfinished = stats.Submitted - stats.Completed - stats.Failed
+	stats.Unfinished = stats.Submitted - stats.Completed - stats.Failed - stats.Timeouts
 	stats.Utilization = usedNodeSeconds / (float64(total) * float64(cfg.Duration))
 	if started > 0 {
 		stats.AvgWait = waitSum / units.Seconds(started)
+	}
+	for class, sum := range slowSum {
+		stats.SlowdownByClass[class] = sum / float64(slowCount[class])
 	}
 	return stats, nil
 }
