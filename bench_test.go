@@ -798,3 +798,12 @@ func BenchmarkLLMTrainStep(b *testing.B) {
 // The campaign is a long deterministic event loop, so its ns/op is
 // gated in benchjson compare mode alongside the kernel benchmarks.
 func BenchmarkCampaignWeek(b *testing.B) { benchExperiment(b, "ext-campaign") }
+
+// BenchmarkCampaignYear is the scale target the campaign engine's hot
+// path is sized against: a simulated year on the full Frontier spec
+// (a fortnight in -short), every job phase-structured, with the
+// placement-signature pricing cache, the indexed scheduler, and batched
+// arrival/failure sampling all engaged. The run is deterministic end to
+// end, so its ns/op is gated in benchjson compare mode; the rendered
+// table reports the pricing-cache hit rate alongside the campaign rows.
+func BenchmarkCampaignYear(b *testing.B) { benchExperiment(b, "ext-year") }

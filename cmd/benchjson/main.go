@@ -20,10 +20,14 @@
 // shared CI runners is too noisy to gate on — except for the kernel,
 // transport and solver benchmarks (BenchmarkKernel*, BenchmarkTransport*,
 // BenchmarkFig6FullScale*, BenchmarkSolverDelta*,
-// BenchmarkSolutionCache*): those are the event-calendar and
-// incremental-solver hot paths whose throughput the perf trajectory
-// exists to protect, and their inner loops are long enough that a
-// >threshold ns/op increase is signal, not noise.
+// BenchmarkSolutionCache*, BenchmarkLLMTrainStep, BenchmarkCampaign*):
+// those are the event-calendar and incremental-solver hot paths whose
+// throughput the perf trajectory exists to protect, and their inner
+// loops are long enough that a >threshold ns/op increase is signal, not
+// noise. The kernel and transport families additionally gate their
+// events/sec column: a >threshold throughput decrease there fails the
+// comparison even when ns/op moved for benign reasons (iteration-shape
+// changes).
 package main
 
 import (
@@ -157,9 +161,17 @@ func runCompare(paths []string, threshold float64) int {
 			delta(ob.BytesPerOp, nb.BytesPerOp),
 			delta(ob.AllocsPerOp, nb.AllocsPerOp))
 		if oe, ne := ob.eventsPerSec(), nb.eventsPerSec(); oe != 0 || ne != 0 {
-			// Reported, not gated: throughput on shared runners moves with
-			// the machine; the ns/op gate below covers the hot path.
 			fmt.Printf("  %-40s events/sec %s\n", "", delta(oe, ne))
+			// Gated for the event-engine families only: a >threshold
+			// throughput DROP on the kernel/transport benchmarks is the
+			// regression the perf trajectory exists to catch. Elsewhere it
+			// stays report-only — throughput on shared runners moves with
+			// the machine.
+			if epsGated(nb.Name) && oe > 0 && ne < oe*(1-threshold) {
+				fmt.Printf("REGRESSION: %s events/sec %.0f -> %.0f (%.1f%%) exceeds -%.0f%%\n",
+					nb.Name, oe, ne, (ne/oe-1)*100, threshold*100)
+				regressions++
+			}
 		}
 		check := func(metric string, o, n float64) {
 			if o > 0 && n > o*(1+threshold) {
@@ -195,9 +207,10 @@ func runCompare(paths []string, threshold float64) int {
 // regression, not runner noise. Names are matched after the -procs
 // suffix has been stripped by parseLine; sub-benchmarks keep their
 // slash-separated path, so the prefixes cover BenchmarkSolverDelta/clean
-// and friends. The phase-structured job layer adds two more: the LLM
-// train-step Bind pricing micro-benchmark and the campaign-week replay,
-// both deterministic single-path loops over the job/env hot path.
+// and friends. The phase-structured job layer adds more: the LLM
+// train-step Bind pricing micro-benchmark and the campaign replays
+// (BenchmarkCampaignWeek and the year-at-scale BenchmarkCampaignYear),
+// all deterministic single-path loops over the job/env hot path.
 func nsGated(name string) bool {
 	return strings.HasPrefix(name, "BenchmarkKernel") ||
 		strings.HasPrefix(name, "BenchmarkTransport") ||
@@ -205,7 +218,18 @@ func nsGated(name string) bool {
 		strings.HasPrefix(name, "BenchmarkSolverDelta") ||
 		strings.HasPrefix(name, "BenchmarkSolutionCache") ||
 		strings.HasPrefix(name, "BenchmarkLLMTrainStep") ||
-		strings.HasPrefix(name, "BenchmarkCampaignWeek")
+		strings.HasPrefix(name, "BenchmarkCampaign")
+}
+
+// epsGated reports whether a benchmark's events/sec throughput is gated
+// (on decrease) in compare mode: the kernel and transport families run
+// long enough inner loops that a >threshold throughput drop is an
+// event-engine regression, not runner noise. ns/op gating catches the
+// same families from the per-iteration side; events/sec additionally
+// covers sub-benchmarks whose iteration shape changed.
+func epsGated(name string) bool {
+	return strings.HasPrefix(name, "BenchmarkKernel") ||
+		strings.HasPrefix(name, "BenchmarkTransport")
 }
 
 func loadReport(path string) (Report, error) {

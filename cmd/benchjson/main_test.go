@@ -65,12 +65,61 @@ func TestNsGated(t *testing.T) {
 		"BenchmarkKernelSchedule":     true,
 		"BenchmarkTransportStorm":     true,
 		"BenchmarkTransportStorm/big": true,
+		"BenchmarkCampaignWeek":       true,
+		"BenchmarkCampaignYear":       true,
 		"BenchmarkMaxMinSolve":        false,
 		"BenchmarkRunAllParallel":     false,
 	} {
 		if got := nsGated(name); got != want {
 			t.Errorf("nsGated(%q) = %v, want %v", name, got, want)
 		}
+	}
+}
+
+func TestEpsGated(t *testing.T) {
+	for name, want := range map[string]bool{
+		"BenchmarkKernelSchedule":                 true,
+		"BenchmarkTransportStormSharded/shards=8": true,
+		"BenchmarkCampaignYear":                   false,
+		"BenchmarkResiliencyYearSharded/shards=8": false,
+	} {
+		if got := epsGated(name); got != want {
+			t.Errorf("epsGated(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestCompareGatesEventsPerSecDrop(t *testing.T) {
+	dir := t.TempDir()
+	oldRep := writeReport(t, dir, "old",
+		Benchmark{Name: "BenchmarkTransportStormSharded/shards=8", EventsPerSec: 4000000})
+	newRep := writeReport(t, dir, "new",
+		Benchmark{Name: "BenchmarkTransportStormSharded/shards=8", EventsPerSec: 3000000})
+	if got := runCompare([]string{oldRep, newRep}, 0.20); got != 3 {
+		t.Errorf("-25%% events/sec on a transport benchmark: exit %d, want 3", got)
+	}
+}
+
+func TestCompareEventsPerSecDropWithinThresholdPasses(t *testing.T) {
+	dir := t.TempDir()
+	oldRep := writeReport(t, dir, "old",
+		Benchmark{Name: "BenchmarkKernelSchedule", EventsPerSec: 4000000})
+	newRep := writeReport(t, dir, "new",
+		Benchmark{Name: "BenchmarkKernelSchedule", EventsPerSec: 3500000})
+	if got := runCompare([]string{oldRep, newRep}, 0.20); got != 0 {
+		t.Errorf("-12.5%% events/sec under a 20%% threshold: exit %d, want 0", got)
+	}
+}
+
+// An events/sec INCREASE must never flag, whatever the magnitude.
+func TestCompareEventsPerSecGainPasses(t *testing.T) {
+	dir := t.TempDir()
+	oldRep := writeReport(t, dir, "old",
+		Benchmark{Name: "BenchmarkKernelSchedule", EventsPerSec: 1000000})
+	newRep := writeReport(t, dir, "new",
+		Benchmark{Name: "BenchmarkKernelSchedule", EventsPerSec: 9000000})
+	if got := runCompare([]string{oldRep, newRep}, 0.20); got != 0 {
+		t.Errorf("9x events/sec gain: exit %d, want 0", got)
 	}
 }
 

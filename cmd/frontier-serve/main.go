@@ -43,6 +43,7 @@ func run() int {
 	maxSweep := flag.Int("max-sweep", 256, "max variants in one sweep request")
 	shards := flag.Int("shards", 0, "kernel worker shards per simulation (0 or 1 = one worker; results are identical at any value)")
 	solutionBytes := flag.Int64("solution-cache-bytes", 0, "solver solution-cache budget in bytes shared across simulations (0 = 256 MiB default)")
+	pricingEntries := flag.Int("pricing-cache-entries", 0, "per-simulation placement-signature pricing cache for campaign experiments: 0 = unbounded (default), N > 0 = LRU entry cap, -1 = disabled; campaign results are identical at any setting")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "frontier-serve: unexpected arguments %v\n", flag.Args())
@@ -57,6 +58,7 @@ func run() int {
 		MaxSweepVariants:   *maxSweep,
 		Shards:             *shards,
 		SolutionCacheBytes: *solutionBytes,
+		PricingEntries:     *pricingEntries,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "frontier-serve:", err)

@@ -50,6 +50,7 @@ func run() int {
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = none)")
 	keepGoing := flag.Bool("keepgoing", false, "run every experiment even after a failure")
 	shards := flag.Int("shards", 0, "worker shards for sharded-kernel experiments (0 or 1 = one worker; output is identical at any value)")
+	pricingCache := flag.Int("pricing-cache", 0, "placement-signature pricing cache for the campaign experiments: 0 = unbounded (default), N > 0 = LRU entry cap, -1 = disabled; hits are bit-identical, so campaign results never change (only the reported hit-rate row)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	mutexprofile := flag.String("mutexprofile", "", "write a contended-mutex profile to this file on exit")
@@ -96,7 +97,7 @@ func run() int {
 	// sharing a traffic matrix (CC on/off) reuse solved allocations, and
 	// reuse is bit-exact, so output stays byte-identical with or without.
 	opts := experiments.Options{Quick: *quick, Seed: *seed, Shards: *shards,
-		Solutions: network.NewSolutionCache(0)}
+		Solutions: network.NewSolutionCache(0), PricingEntries: *pricingCache}
 	if *machineArg != "" {
 		spec, err := machine.Resolve(*machineArg)
 		if err != nil {

@@ -56,6 +56,16 @@ type Config struct {
 	// a topology and traffic matrix skip straight to stored allocations.
 	// Reuse is bit-exact, so it never changes result bytes or cache keys.
 	SolutionCacheBytes int64
+	// PricingEntries sizes the per-simulation placement-signature pricing
+	// cache the campaign experiments attach to their job environment:
+	// 0 = unbounded (the default), > 0 caps the LRU, < 0 disables it.
+	// Cache hits reproduce cold pricing bit-for-bit, so every campaign
+	// statistic is identical at any setting and — like Shards — the knob
+	// stays out of the result-cache key. The one informational surface it
+	// can move is the reported hit-rate row (a bounded LRU may evict and
+	// re-miss), so servers sharing a persistent cache directory should
+	// agree on this setting.
+	PricingEntries int
 }
 
 // Server is the campaign service. Build with New, serve Handler.
@@ -67,6 +77,7 @@ type Server struct {
 	version   string
 	maxVars   int
 	shards    int
+	pricing   int
 	started   time.Time
 }
 
@@ -92,6 +103,7 @@ func New(cfg Config) (*Server, error) {
 		version:   version,
 		maxVars:   maxVars,
 		shards:    cfg.Shards,
+		pricing:   cfg.PricingEntries,
 		started:   time.Now(),
 	}, nil
 }
@@ -156,7 +168,11 @@ type resolved struct {
 	// applies bit-exact stored allocations.
 	shards    int
 	solutions *network.SolutionCache
-	key       cache.Key
+	// pricing is the server's pricing-cache sizing, excluded from key for
+	// the same reason as shards: hits are bit-identical, results never
+	// depend on it.
+	pricing int
+	key     cache.Key
 }
 
 func (s *Server) resolve(req JobRequest) (resolved, error) {
@@ -201,6 +217,7 @@ func (s *Server) resolve(req JobRequest) (resolved, error) {
 	r.markdown = req.Markdown
 	r.shards = s.shards
 	r.solutions = s.solutions
+	r.pricing = s.pricing
 	r.key = cache.ResultKey(cache.KeyInputs{
 		SpecJSON:    specJSON,
 		Seed:        r.seed,
@@ -216,7 +233,7 @@ func (s *Server) resolve(req JobRequest) (resolved, error) {
 func (r resolved) options() experiments.Options {
 	spec := r.spec
 	return experiments.Options{Quick: r.quick, Seed: r.seed, Machine: &spec,
-		Shards: r.shards, Solutions: r.solutions}
+		Shards: r.shards, Solutions: r.solutions, PricingEntries: r.pricing}
 }
 
 // runCached is the one compute path every endpoint shares: at most one

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 
+	"frontiersim/internal/core"
+	"frontiersim/internal/job"
 	"frontiersim/internal/machine"
 	"frontiersim/internal/network"
 	"frontiersim/internal/report"
@@ -43,6 +45,27 @@ type Options struct {
 	// purely a speed knob that never enters result content or cache
 	// keys. nil disables reuse.
 	Solutions *network.SolutionCache
+	// PricingEntries sizes the per-run placement-signature pricing cache
+	// the campaign experiments attach to their job environment: 0 (the
+	// default) keeps it unbounded, so the reported hit rate is a pure
+	// function of the job stream; > 0 caps the LRU; < 0 disables the
+	// cache. Cache hits reproduce cold pricing bit-for-bit, so — like
+	// Shards — this is purely a speed knob that never changes result
+	// content and never enters campaign cache keys.
+	PricingEntries int
+}
+
+// pricingCache builds the per-run pricing cache o asks for and attaches
+// it to the system's job environment, returning it for hit-rate
+// reporting (nil when disabled or the machine has no scheduler).
+func (o Options) pricingCache(sys *core.System, spec machine.Spec) *job.PricingCache {
+	if o.PricingEntries < 0 || sys.Scheduler == nil || sys.Scheduler.Env == nil {
+		return nil
+	}
+	cache := job.NewPricingCache(o.PricingEntries)
+	sys.Scheduler.Env.Cache = cache
+	sys.Scheduler.Env.CacheKey = topoKey(spec)
+	return cache
 }
 
 // machine returns the spec of the machine under test.
@@ -114,6 +137,7 @@ func Registry() []Runner {
 		{"ext-sharded", "Extension: sharded parallel kernel (per-group LPs, conservative lookahead)", ExtSharded, 0.3},
 		{"ext-llm", "Extension: LLM training scaling, phase-structured programs", ExtLLM, 0.5},
 		{"ext-campaign", "Extension: a campaign week of phase-structured jobs", ExtCampaign, 0.5},
+		{"ext-year", "Extension: a year of operations on full Frontier (pricing cache, indexed scheduler)", ExtYear, 2.0},
 	}
 }
 

@@ -134,6 +134,7 @@ func ExtCampaign(o Options) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	cache := o.pricingCache(sys, spec)
 	cfg := workload.DefaultConfig()
 	cfg.Mix = workload.ProgramMix(spec.Platform(), spec.NodeModel())
 	cfg.MeanInterarrival = 10 * units.Minute
@@ -168,5 +169,12 @@ func ExtCampaign(o Options) (*report.Table, error) {
 	}
 	t.AddInfo("checkpoints / lost work", fmt.Sprintf("%d / %v", stats.Checkpoints, stats.LostWork),
 		fmt.Sprintf("%d jobs interrupted mid-phase", stats.JobInterrupts))
+	addSlowdownRows(t, stats)
+	if cache != nil {
+		hits, misses := cache.Stats()
+		t.AddInfo("pricing cache", fmt.Sprintf("%.1f%% hit rate (%d hits / %d misses, %d entries)",
+			cache.HitRate()*100, hits, misses, cache.Len()),
+			"placement-signature memoization of program pricing; hits are bit-identical")
+	}
 	return t, nil
 }

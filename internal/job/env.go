@@ -55,6 +55,15 @@ type Env struct {
 	// target).
 	NodeLocal *storage.NodeLocalStore
 	Orion     *storage.Orion
+
+	// Cache, when non-nil, memoizes Bind's per-phase pricing keyed by
+	// (program signature, placement signature, CacheKey). Hits are
+	// bit-identical to cold binds but skip communicator construction;
+	// the served Bound shares the cached time slices and has a nil Comm.
+	Cache *PricingCache
+	// CacheKey distinguishes machines sharing one cache — conventionally
+	// the machine.Hash of the spec this env was derived from.
+	CacheKey string
 }
 
 // Validate checks the env is usable.
@@ -124,6 +133,19 @@ func (e *Env) Bind(p *Program, nodes []int) (*Bound, error) {
 	if len(nodes) != p.Nodes {
 		return nil, fmt.Errorf("job: program %s needs %d nodes, placement has %d", p.Name, p.Nodes, len(nodes))
 	}
+	var key pricingKey
+	keyed := false
+	if e.Cache != nil {
+		if place, ok := e.PlacementSignature(nodes); ok {
+			key = pricingKey{env: e.CacheKey, prog: ProgramSignature(p), place: place}
+			keyed = true
+			if pr, hit := e.Cache.lookup(key); hit {
+				return &Bound{Prog: p, Env: e, Nodes: nodes,
+					SetupTimes: pr.setupTimes, LoopTimes: pr.loopTimes,
+					Total: pr.setupSum + units.Seconds(p.Iterations)*pr.loopSum}, nil
+			}
+		}
+	}
 	comm, err := mpi.NewComm(e.Fabric, nodes, p.PPN)
 	if err != nil {
 		return nil, fmt.Errorf("job: binding %s: %w", p.Name, err)
@@ -150,6 +172,12 @@ func (e *Env) Bind(p *Program, nodes []int) (*Bound, error) {
 		return nil, err
 	}
 	b.Total = setupSum + units.Seconds(p.Iterations)*loopSum
+	if keyed {
+		e.Cache.store(key, pricedProgram{
+			setupTimes: b.SetupTimes, loopTimes: b.LoopTimes,
+			setupSum: setupSum, loopSum: loopSum,
+		})
+	}
 	return b, nil
 }
 
@@ -302,12 +330,11 @@ func (b *Bound) groupComm(g Group) (*mpi.Comm, error) {
 		stride := g.Stride
 		color = func(r int) int { return r % stride }
 	}
-	subs, err := b.Comm.Split(color)
+	c, err := b.Comm.SplitOne(color, 0)
 	if err != nil {
 		return nil, err
 	}
-	c, ok := subs[0]
-	if !ok {
+	if c == nil {
 		return nil, fmt.Errorf("group %dx%d produced no rank-0 subgroup", g.Size, g.Stride)
 	}
 	b.subs[g] = c

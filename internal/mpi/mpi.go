@@ -253,6 +253,36 @@ func (c *Comm) Split(color func(rank int) int) (map[int]*Comm, error) {
 	return out, nil
 }
 
+// SplitOne builds the single sub-communicator Split would return for
+// the given color, without materializing the others: identical node
+// order (first appearance over ranks in rank order), identical PPN, so
+// the result prices bit-identically to Split(color)[col]. The pricing
+// path uses it because congruent-subgroup collectives only ever price
+// the rank-0 subgroup, and a full Split of a hero-job communicator
+// builds thousands of discarded sub-communicators.
+func (c *Comm) SplitOne(color func(rank int) int, col int) (*Comm, error) {
+	var nodes []int
+	seen := map[int]bool{}
+	for r := 0; r < c.Size(); r++ {
+		if color(r) != col {
+			continue
+		}
+		n := c.NodeOf(r)
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	if len(nodes) == 0 {
+		return nil, nil
+	}
+	sub, err := NewComm(c.F, nodes, c.PPN)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: split color %d: %w", col, err)
+	}
+	return sub, nil
+}
+
 // AllGather models an allgather of b bytes contributed per rank: ring
 // collection, each rank ends with P*b bytes.
 func (c *Comm) AllGather(b units.Bytes) units.Seconds {

@@ -92,11 +92,23 @@ type Failure struct {
 	Interrupting bool
 }
 
+// ExpectedFailures is the analytic mean event count (all classes) over
+// a horizon — the pre-sizing estimate for trace buffers.
+func (m Model) ExpectedFailures(horizon units.Seconds) int {
+	var rate float64
+	for _, c := range m.Classes {
+		rate += c.Rate()
+	}
+	return int(rate * float64(horizon))
+}
+
 // Simulate draws failures over the given horizon using exponential
 // interarrivals per class, returning them in time order. Node-mapped
-// consumers can take Component modulo the node count.
+// consumers can take Component modulo the node count. The trace buffer
+// is pre-sized to the analytic expectation, so a year-scale draw costs
+// a couple of allocations instead of a growth cascade.
 func (m Model) Simulate(horizon units.Seconds, rng *rand.Rand) []Failure {
-	var out []Failure
+	out := make([]Failure, 0, m.ExpectedFailures(horizon)+m.ExpectedFailures(horizon)/8+8)
 	for _, c := range m.Classes {
 		rate := c.Rate()
 		if rate == 0 {
@@ -140,11 +152,55 @@ func injectNext(arg any) {
 // classes is tens of thousands of events; scheduling them costs two
 // allocations total (the trace itself and the shared cursor).
 func (m Model) Inject(k *sim.Kernel, horizon units.Seconds, rng *rand.Rand, handle func(Failure)) int {
-	failures := m.Simulate(horizon, rng)
+	return InjectTrace(k, m.Simulate(horizon, rng), handle)
+}
+
+// InjectTrace schedules an already-simulated failure trace, pre-loading
+// the whole calendar — the historical discipline, kept for callers whose
+// traces are short.
+func InjectTrace(k *sim.Kernel, failures []Failure, handle func(Failure)) int {
+	if len(failures) == 0 {
+		return 0
+	}
 	in := &injector{failures: failures, handle: handle}
 	for i := range failures {
 		k.AtCall(failures[i].At, injectNext, in)
 	}
+	return len(failures)
+}
+
+// pacedInjector walks a trace with exactly one outstanding calendar
+// event: each firing schedules the next before handling the current,
+// so same-time failures keep trace order and the event heap never holds
+// more than one failure — the shape that matters when a year of
+// component failures would otherwise occupy tens of thousands of heap
+// slots for the whole campaign.
+type pacedInjector struct {
+	k        *sim.Kernel
+	failures []Failure
+	next     int
+	handle   func(Failure)
+}
+
+func pacedNext(arg any) {
+	in := arg.(*pacedInjector)
+	f := in.failures[in.next]
+	in.next++
+	if in.next < len(in.failures) {
+		in.k.AtCall(in.failures[in.next].At, pacedNext, in)
+	}
+	in.handle(f)
+}
+
+// InjectPaced schedules a failure trace one outstanding event at a
+// time. Event times and handler order are identical to InjectTrace;
+// only the calendar residency differs (O(1) instead of O(trace)).
+func InjectPaced(k *sim.Kernel, failures []Failure, handle func(Failure)) int {
+	if len(failures) == 0 {
+		return 0
+	}
+	in := &pacedInjector{k: k, failures: failures, handle: handle}
+	k.AtCall(failures[0].At, pacedNext, in)
 	return len(failures)
 }
 

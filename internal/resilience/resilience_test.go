@@ -174,3 +174,50 @@ func TestSummitHBMComparison(t *testing.T) {
 		t.Errorf("absolute rate ratio = %.1f, want ~11 (capacity ratio)", frontierAbs/summitAbs)
 	}
 }
+
+// Paced injection must deliver the same failures, at the same times, in
+// the same order as pre-loading the whole trace — only the calendar
+// residency differs.
+func TestInjectPacedMatchesInjectTrace(t *testing.T) {
+	m := Frontier()
+	trace := m.Simulate(30*units.Day, rand.New(rand.NewSource(11)))
+	run := func(inject func(*sim.Kernel, []Failure, func(Failure)) int) []Failure {
+		k := sim.NewKernel(5)
+		var seen []Failure
+		withTimes := func(f Failure) {
+			f.At = units.Seconds(k.Now()) // observed firing time
+			seen = append(seen, f)
+		}
+		if n := inject(k, trace, withTimes); n != len(trace) {
+			t.Fatalf("scheduled %d of %d failures", n, len(trace))
+		}
+		k.Run()
+		return seen
+	}
+	upfront := run(InjectTrace)
+	paced := run(InjectPaced)
+	if len(upfront) != len(paced) {
+		t.Fatalf("upfront handled %d, paced %d", len(upfront), len(paced))
+	}
+	for i := range upfront {
+		if upfront[i] != paced[i] {
+			t.Fatalf("failure %d diverges: upfront %+v, paced %+v", i, upfront[i], paced[i])
+		}
+	}
+	if len(upfront) == 0 {
+		t.Fatal("empty trace proves nothing")
+	}
+}
+
+func TestExpectedFailures(t *testing.T) {
+	m := Frontier()
+	got := m.Simulate(60*units.Day, rand.New(rand.NewSource(3)))
+	want := m.ExpectedFailures(60 * units.Day)
+	if want == 0 {
+		t.Fatal("expected count is zero")
+	}
+	ratio := float64(len(got)) / float64(want)
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("simulated %d failures vs expected %d (ratio %.2f)", len(got), want, ratio)
+	}
+}

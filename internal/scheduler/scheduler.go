@@ -5,10 +5,20 @@
 // pack tightly into one dragonfly group to minimise global hops, large
 // jobs spread evenly across as many groups as possible to maximise the
 // global links available to minimal routing.
+//
+// The hot paths are indexed for full-machine campaigns: a per-group
+// free-count table and a free-node bitmap (bit set ⟺ free AND healthy)
+// make place() near-O(groups) instead of O(nodes), a per-node running-job
+// table makes failure attribution O(1), and the pending queue is an
+// index-tracked structure with tombstoned removal so backfill never pays
+// the old O(n) slice deletes. All index structures are pure accelerators:
+// placement decisions, queue order, and therefore every downstream RNG
+// draw are bit-identical to the linear-scan implementation they replace.
 package scheduler
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"frontiersim/internal/fabric"
@@ -89,6 +99,8 @@ type Job struct {
 
 	exec     *job.Exec
 	endEvent sim.Event
+	// qpos is the job's slot in the pending queue, -1 when not queued.
+	qpos int
 }
 
 // Class returns the workload stratum label (program jobs) or the job
@@ -119,24 +131,42 @@ type Scheduler struct {
 	// placement and re-prices each program on its granted allocation.
 	Env *job.Env
 
+	// BackfillDepth bounds how many pending jobs one EASY backfill pass
+	// examines behind the queue head; 0 scans the whole queue. Bounding
+	// the scan is how real schedulers keep a deep queue cheap; it can
+	// only *skip* backfill starts, never reorder them.
+	BackfillDepth int
+
 	nodesPerGroup int
 	groups        int
 	totalNodes    int
 
-	free      []bool // per node
-	freeCount int
-	unhealthy map[int]bool
-	queue     []*Job
+	free      []bool // per node: idle, healthy or not
+	unhealthy []bool // per node: failing checknode
+	// freeBits is the scheduling index: bit n set ⟺ free[n] && !unhealthy[n].
+	// groupFree and freeHealthy are its per-group and global popcounts.
+	freeBits    []uint64
+	groupFree   []int
+	freeHealthy int
+	// nodeJob maps an allocated node to the job running on it (exclusive
+	// allocation: at most one).
+	nodeJob []*Job
+
+	queue     jobQueue
 	running   map[int]*Job
 	nextJobID int
 	vni       *vniPool
 	// scratch is a per-node membership bitmap reused by place's second
 	// pass; it is always all-false between calls.
 	scratch []bool
+	// gfScratch is place's reusable (group, free) working slice.
+	gfScratch []groupFreeCount
 
 	// Stats.
 	Started, Finished, FailedJobs, HealthRejects int
 }
+
+type groupFreeCount struct{ id, free int }
 
 // New builds a scheduler over the compute nodes of fabric f.
 func New(k *sim.Kernel, f *fabric.Fabric) *Scheduler {
@@ -148,31 +178,43 @@ func New(k *sim.Kernel, f *fabric.Fabric) *Scheduler {
 		groups:        f.Cfg.ComputeGroups,
 		totalNodes:    total,
 		free:          make([]bool, total),
-		freeCount:     total,
-		unhealthy:     map[int]bool{},
+		unhealthy:     make([]bool, total),
+		freeBits:      make([]uint64, (total+63)/64),
+		groupFree:     make([]int, f.Cfg.ComputeGroups),
+		freeHealthy:   total,
+		nodeJob:       make([]*Job, total),
 		running:       map[int]*Job{},
 		nextJobID:     1,
 		vni:           newVNIPool(1, 65535),
 		scratch:       make([]bool, total),
+		gfScratch:     make([]groupFreeCount, 0, f.Cfg.ComputeGroups),
 	}
 	for i := range s.free {
 		s.free[i] = true
+		s.freeBits[i>>6] |= 1 << (i & 63)
+	}
+	for g := range s.groupFree {
+		s.groupFree[g] = s.nodesPerGroup
 	}
 	return s
 }
 
-// FreeNodes returns the count of idle healthy nodes.
-func (s *Scheduler) FreeNodes() int { return s.freeCount - s.unhealthyFreeCount() }
-
-func (s *Scheduler) unhealthyFreeCount() int {
-	n := 0
-	for node := range s.unhealthy {
-		if s.free[node] {
-			n++
-		}
-	}
-	return n
+// setFree adds node to the scheduling index (it must be absent).
+func (s *Scheduler) setFree(node int) {
+	s.freeBits[node>>6] |= 1 << (node & 63)
+	s.groupFree[node/s.nodesPerGroup]++
+	s.freeHealthy++
 }
+
+// clearFree removes node from the scheduling index (it must be present).
+func (s *Scheduler) clearFree(node int) {
+	s.freeBits[node>>6] &^= 1 << (node & 63)
+	s.groupFree[node/s.nodesPerGroup]--
+	s.freeHealthy--
+}
+
+// FreeNodes returns the count of idle healthy nodes.
+func (s *Scheduler) FreeNodes() int { return s.freeHealthy }
 
 // MarkUnhealthy records a node as failing checknode; running jobs on it
 // fail immediately (compute nodes are scheduled exclusively, so only one
@@ -181,25 +223,32 @@ func (s *Scheduler) MarkUnhealthy(node int) {
 	if node < 0 || node >= s.totalNodes {
 		return
 	}
-	s.unhealthy[node] = true
-	for _, j := range s.running {
-		for _, n := range j.Alloc {
-			if n == node {
-				s.finish(j, Failed)
-				return
-			}
+	if !s.unhealthy[node] {
+		s.unhealthy[node] = true
+		if s.free[node] {
+			s.clearFree(node)
 		}
+	}
+	if j := s.nodeJob[node]; j != nil {
+		s.finish(j, Failed)
 	}
 }
 
 // MarkHealthy returns a repaired node to service.
 func (s *Scheduler) MarkHealthy(node int) {
-	delete(s.unhealthy, node)
+	if node >= 0 && node < s.totalNodes && s.unhealthy[node] {
+		s.unhealthy[node] = false
+		if s.free[node] {
+			s.setFree(node)
+		}
+	}
 	s.trySchedule()
 }
 
 // Checknode is the health gate Slurm runs at boot and between jobs.
-func (s *Scheduler) Checknode(node int) bool { return !s.unhealthy[node] }
+func (s *Scheduler) Checknode(node int) bool {
+	return node >= 0 && node < s.totalNodes && !s.unhealthy[node]
+}
 
 // Submit enqueues a job and attempts to schedule. It returns the job so
 // callers can watch its state.
@@ -218,9 +267,10 @@ func (s *Scheduler) Submit(name string, nodes int, walltime units.Seconds, onCom
 		State:      Pending,
 		Submit:     s.K.Now(),
 		OnComplete: onComplete,
+		qpos:       -1,
 	}
 	s.nextJobID++
-	s.queue = append(s.queue, j)
+	s.queue.push(j)
 	s.trySchedule()
 	return j, nil
 }
@@ -252,9 +302,10 @@ func (s *Scheduler) SubmitProgram(p *job.Program, onComplete func(*Job)) (*Job, 
 		State:      Pending,
 		Submit:     s.K.Now(),
 		OnComplete: onComplete,
+		qpos:       -1,
 	}
 	s.nextJobID++
-	s.queue = append(s.queue, j)
+	s.queue.push(j)
 	s.trySchedule()
 	return j, nil
 }
@@ -263,12 +314,7 @@ func (s *Scheduler) SubmitProgram(p *job.Program, onComplete func(*Job)) (*Job, 
 func (s *Scheduler) Cancel(j *Job) {
 	switch j.State {
 	case Pending:
-		for i, q := range s.queue {
-			if q == j {
-				s.queue = append(s.queue[:i], s.queue[i+1:]...)
-				break
-			}
-		}
+		s.queue.remove(j)
 		j.State = Cancelled
 		if j.OnComplete != nil {
 			j.OnComplete(j)
@@ -279,7 +325,7 @@ func (s *Scheduler) Cancel(j *Job) {
 }
 
 // Queue returns the pending jobs in order.
-func (s *Scheduler) Queue() []*Job { return append([]*Job(nil), s.queue...) }
+func (s *Scheduler) Queue() []*Job { return s.queue.snapshot() }
 
 // Running returns the currently running jobs.
 func (s *Scheduler) Running() []*Job {
@@ -295,27 +341,39 @@ func (s *Scheduler) Running() []*Job {
 // later job may jump ahead only if starting it now cannot delay the
 // head's reservation.
 func (s *Scheduler) trySchedule() {
-	for len(s.queue) > 0 {
-		if !s.start(s.queue[0]) {
+	for s.queue.len() > 0 {
+		if !s.start(s.queue.first()) {
 			break
 		}
-		s.queue = s.queue[1:]
+		s.queue.removeFirst()
 	}
-	if len(s.queue) == 0 {
+	if s.queue.len() == 0 || s.freeHealthy == 0 {
+		// An empty machine cannot backfill anything; skipping the scan
+		// changes no decisions (no job fits), only the cost of making none.
 		return
 	}
-	head := s.queue[0]
+	head := s.queue.first()
 	resTime, nodesAtRes := s.reservation(head)
-	for i := 1; i < len(s.queue); {
-		j := s.queue[i]
+	scanned := 0
+	for i := s.queue.head + 1; i < len(s.queue.items); i++ {
+		j := s.queue.items[i]
+		if j == nil {
+			continue
+		}
+		if s.freeHealthy == 0 {
+			break
+		}
+		scanned++
+		if s.BackfillDepth > 0 && scanned > s.BackfillDepth {
+			break
+		}
 		fitsNow := j.Nodes <= s.FreeNodes()
 		noDelay := s.K.Now()+j.Walltime <= resTime || s.FreeNodes()-j.Nodes >= nodesAtRes
 		if fitsNow && noDelay && s.start(j) {
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
-			continue
+			s.queue.removeAt(i)
 		}
-		i++
 	}
+	s.queue.maybeCompact()
 }
 
 // reservation estimates when the head job can start: walk running jobs by
@@ -356,8 +414,9 @@ func (s *Scheduler) start(j *Job) bool {
 	j.End = j.Start + j.Walltime
 	for _, n := range alloc {
 		s.free[n] = false
+		s.clearFree(n)
+		s.nodeJob[n] = j
 	}
-	s.freeCount -= len(alloc)
 	s.running[j.ID] = j
 	s.Started++
 	if j.Program != nil {
@@ -412,8 +471,11 @@ func (s *Scheduler) finish(j *Job, state JobState) {
 		// checknode between jobs: unhealthy nodes stay out of the pool
 		// but are still marked free so repairs can return them.
 		s.free[n] = true
+		s.nodeJob[n] = nil
+		if !s.unhealthy[n] {
+			s.setFree(n)
+		}
 	}
-	s.freeCount += len(j.Alloc)
 	s.vni.release(j.VNI)
 	s.Finished++
 	if state == Failed {
@@ -426,24 +488,16 @@ func (s *Scheduler) finish(j *Job, state JobState) {
 }
 
 // place chooses nodes for a job of size n, or nil if it cannot fit now.
+// It only reads the scheduling index; start() commits the allocation.
 func (s *Scheduler) place(n int) []int {
-	type groupFree struct{ id, free int }
-	gf := make([]groupFree, s.groups)
-	for g := range gf {
-		gf[g].id = g
-	}
-	for node := 0; node < s.totalNodes; node++ {
-		if s.free[node] && !s.unhealthy[node] {
-			gf[node/s.nodesPerGroup].free++
-		}
-	}
 	if n <= s.nodesPerGroup {
 		// Pack: best-fit group (smallest free count that fits) to keep
 		// large contiguous blocks available.
 		best := -1
-		for _, g := range gf {
-			if g.free >= n && (best == -1 || g.free < gf[best].free) {
-				best = g.id
+		for g := 0; g < s.groups; g++ {
+			f := s.groupFree[g]
+			if f >= n && (best == -1 || f < s.groupFree[best]) {
+				best = g
 			}
 		}
 		if best >= 0 {
@@ -451,15 +505,15 @@ func (s *Scheduler) place(n int) []int {
 		}
 		// No single group fits; fall through to spreading.
 	}
-	totalFree := 0
-	for _, g := range gf {
-		totalFree += g.free
-	}
-	if totalFree < n {
+	if s.freeHealthy < n {
 		return nil
 	}
 	// Spread: allocate round-robin from the groups with the most free
 	// nodes so the job touches as many groups as evenly as possible.
+	gf := s.gfScratch[:0]
+	for g := 0; g < s.groups; g++ {
+		gf = append(gf, groupFreeCount{id: g, free: s.groupFree[g]})
+	}
 	sort.Slice(gf, func(i, k int) bool {
 		if gf[i].free != gf[k].free {
 			return gf[i].free > gf[k].free
@@ -490,20 +544,30 @@ func (s *Scheduler) place(n int) []int {
 		alloc = append(alloc, s.takeFromGroup(g.id, take)...)
 		remaining -= take
 	}
-	// Second pass: whatever is left, wherever it fits. The scratch
-	// bitmap makes the membership check O(1) per node; the old linear
-	// scan of alloc was quadratic at hero-job scale (9k+ nodes).
+	// Second pass: whatever is left, wherever it fits, in ascending node
+	// order off the free bitmap; the scratch bitmap keeps the membership
+	// check O(1) per node.
 	if remaining > 0 {
 		taken := s.scratch
 		for _, a := range alloc {
 			taken[a] = true
 		}
-		for node := 0; node < s.totalNodes && remaining > 0; node++ {
-			if s.free[node] && !s.unhealthy[node] && !taken[node] {
+		for node := 0; node < s.totalNodes && remaining > 0; {
+			w := s.freeBits[node>>6] >> (node & 63)
+			if w == 0 {
+				node = (node &^ 63) + 64
+				continue
+			}
+			node += bits.TrailingZeros64(w)
+			if node >= s.totalNodes {
+				break
+			}
+			if !taken[node] {
 				taken[node] = true
 				alloc = append(alloc, node)
 				remaining--
 			}
+			node++
 		}
 		for _, a := range alloc {
 			taken[a] = false
@@ -516,12 +580,107 @@ func (s *Scheduler) place(n int) []int {
 	return alloc
 }
 
+// takeFromGroup collects up to n free healthy nodes from group g in
+// ascending node order — the same order the old linear scan produced,
+// now walked off the free bitmap.
 func (s *Scheduler) takeFromGroup(g, n int) []int {
 	out := make([]int, 0, n)
 	start := g * s.nodesPerGroup
-	for node := start; node < start+s.nodesPerGroup && len(out) < n; node++ {
-		if s.free[node] && !s.unhealthy[node] {
-			out = append(out, node)
+	end := start + s.nodesPerGroup
+	if end > s.totalNodes {
+		end = s.totalNodes
+	}
+	for node := start; node < end && len(out) < n; {
+		w := s.freeBits[node>>6] >> (node & 63)
+		if w == 0 {
+			node = (node &^ 63) + 64
+			continue
+		}
+		node += bits.TrailingZeros64(w)
+		if node >= end {
+			break
+		}
+		out = append(out, node)
+		node++
+	}
+	return out
+}
+
+// jobQueue is the pending queue: FIFO order with O(1) removal anywhere.
+// Removed slots become nil tombstones (each job tracks its slot in
+// qpos); the slice compacts in place once tombstones dominate, so a
+// year-long campaign never pays the old O(n) delete per backfill start.
+type jobQueue struct {
+	items []*Job
+	head  int // index of the first live entry (all earlier slots are nil)
+	live  int
+}
+
+func (q *jobQueue) len() int { return q.live }
+
+func (q *jobQueue) push(j *Job) {
+	j.qpos = len(q.items)
+	q.items = append(q.items, j)
+	q.live++
+}
+
+// first returns the oldest pending job; the queue must be non-empty.
+func (q *jobQueue) first() *Job { return q.items[q.head] }
+
+func (q *jobQueue) removeFirst() { q.removeAt(q.head) }
+
+func (q *jobQueue) removeAt(i int) {
+	q.items[i].qpos = -1
+	q.items[i] = nil
+	q.live--
+	if i == q.head {
+		q.advanceHead()
+	}
+}
+
+func (q *jobQueue) remove(j *Job) {
+	if j.qpos >= 0 && j.qpos < len(q.items) && q.items[j.qpos] == j {
+		q.removeAt(j.qpos)
+	}
+}
+
+func (q *jobQueue) advanceHead() {
+	for q.head < len(q.items) && q.items[q.head] == nil {
+		q.head++
+	}
+	if q.live == 0 {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+}
+
+// maybeCompact squeezes tombstones out once they outnumber live entries
+// by a margin, preserving order and re-indexing qpos.
+func (q *jobQueue) maybeCompact() {
+	if len(q.items)-q.live <= q.live+64 {
+		return
+	}
+	w := 0
+	for _, j := range q.items {
+		if j != nil {
+			j.qpos = w
+			q.items[w] = j
+			w++
+		}
+	}
+	q.items = q.items[:w]
+	q.head = 0
+}
+
+// snapshot returns the live jobs in queue order.
+func (q *jobQueue) snapshot() []*Job {
+	if q.live == 0 {
+		return nil
+	}
+	out := make([]*Job, 0, q.live)
+	for _, j := range q.items[q.head:] {
+		if j != nil {
+			out = append(out, j)
 		}
 	}
 	return out

@@ -265,7 +265,7 @@ func TestNodeConservationProperty(t *testing.T) {
 					count++
 				}
 			}
-			if count+s.freeCount != 48 {
+			if count+s.freeHealthy != 48 {
 				ok = false
 			}
 		}

@@ -1,8 +1,10 @@
 package workload
 
 import (
+	"reflect"
 	"testing"
 
+	"frontiersim/internal/job"
 	"frontiersim/internal/machine"
 	"frontiersim/internal/units"
 )
@@ -125,5 +127,64 @@ func TestProgramClassDoesNotShiftBlobDraws(t *testing.T) {
 		if prog.ByClass[class] != n {
 			t.Errorf("class %s: blob mix %d vs program mix %d submissions", class, n, prog.ByClass[class])
 		}
+	}
+}
+
+// Attaching a pricing cache to the scheduler's environment must be
+// invisible: every stat — delivered walltimes, slowdown quantiles,
+// utilization — flows through Bind totals, so this DeepEqual pins the
+// cache's bit-identity contract at the campaign level. YearMix gives
+// the cache real repeats to serve.
+func TestCampaignPricingCacheInvisible(t *testing.T) {
+	run := func(cache *job.PricingCache) Stats {
+		sys := campaignSystem(t)
+		sys.Scheduler.Env.Cache = cache
+		spec := machine.Scaled(12, 16, 8)
+		cfg := DefaultConfig()
+		cfg.Duration = 2 * units.Day
+		cfg.MeanInterarrival = 10 * units.Minute
+		cfg.Mix = YearMix(spec.Platform(), spec.NodeModel())
+		stats, err := Run(sys, cfg, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	cache := job.NewPricingCache(0)
+	cached := run(cache)
+	uncached := run(nil)
+	if !reflect.DeepEqual(cached, uncached) {
+		t.Errorf("pricing cache changed campaign stats:\ncached:   %+v\nuncached: %+v", cached, uncached)
+	}
+	hits, misses := cache.Stats()
+	if hits == 0 {
+		t.Errorf("year-mix campaign never hit the cache (hits=%d misses=%d)", hits, misses)
+	}
+}
+
+// YearMix must consume the exact draw sequence ProgramMix does —
+// quantization happens after the draws — so the submitted class
+// sequence and failure trace match a ProgramMix campaign's exactly.
+func TestYearMixDoesNotShiftDraws(t *testing.T) {
+	spec := machine.Scaled(12, 16, 8)
+	run := func(mix []JobClass) Stats {
+		sys := campaignSystem(t)
+		cfg := DefaultConfig()
+		cfg.Duration = 1 * units.Day
+		cfg.Mix = mix
+		stats, err := Run(sys, cfg, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	prog := run(ProgramMix(spec.Platform(), spec.NodeModel()))
+	year := run(YearMix(spec.Platform(), spec.NodeModel()))
+	if prog.Submitted != year.Submitted || prog.NodeFailures != year.NodeFailures {
+		t.Errorf("year mix shifted the draw sequence: %d/%d submitted, %d/%d failures",
+			prog.Submitted, year.Submitted, prog.NodeFailures, year.NodeFailures)
+	}
+	if !reflect.DeepEqual(prog.ByClass, year.ByClass) {
+		t.Errorf("class sequence diverged: %v vs %v", prog.ByClass, year.ByClass)
 	}
 }

@@ -9,6 +9,10 @@ package workload
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
 	"frontiersim/internal/rng"
 
 	"frontiersim/internal/apps"
@@ -117,6 +121,23 @@ type Config struct {
 	InjectFailures bool
 	// RepairTime is how long a failed node stays out of service.
 	RepairTime units.Seconds
+	// ArrivalBatch, when > 0, draws interarrival gaps in pooled batches
+	// of this size from a dedicated rng stream derived from the campaign
+	// seed, instead of one draw from the shared stream per submission
+	// event. The draw *sequence* therefore differs from the legacy
+	// per-event discipline by design — the knob belongs to campaigns
+	// defined with it on (ext-year); existing campaigns leave it zero and
+	// stay byte-identical. Either setting is individually deterministic.
+	ArrivalBatch int
+	// PacedFailures schedules the failure trace one outstanding calendar
+	// event at a time (each firing schedules the next) instead of
+	// pre-scheduling the whole horizon, keeping a year-scale trace from
+	// occupying tens of thousands of heap slots up front. The trace
+	// itself — and so every rng draw — is identical either way.
+	PacedFailures bool
+	// BackfillDepth, when > 0, bounds the scheduler's EASY backfill scan
+	// per pass; deep year-scale queues keep O(depth) scheduling cost.
+	BackfillDepth int
 }
 
 // DefaultConfig returns a week of operations with failures on.
@@ -154,10 +175,215 @@ type Stats struct {
 	// SlowdownByClass is the mean bounded slowdown — (wait + run) over
 	// max(run, 1 min) — of finished jobs per class.
 	SlowdownByClass map[string]float64
+	// TailSlowdownByClass holds exact p50/p95/p99 bounded-slowdown
+	// quantiles per class: every finished job's slowdown is kept and
+	// sorted at campaign end (no reservoir, no approximation).
+	TailSlowdownByClass map[string]SlowdownQuantiles
 	// LostWork sums the work-since-last-checkpoint that interrupts
 	// destroyed; Checkpoints counts completed checkpoint phases.
 	LostWork    units.Seconds
 	Checkpoints int
+}
+
+// SlowdownQuantiles are nearest-rank bounded-slowdown percentiles over
+// one class's finished jobs.
+type SlowdownQuantiles struct {
+	P50, P95, P99 float64
+	Samples       int
+}
+
+// quantile returns the nearest-rank q-quantile of an ascending-sorted
+// non-empty sample set: the ceil(q·n)-th smallest value.
+func quantile(sorted []float64, q float64) float64 {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// campaign is one Run's state, shared by the closure-free submission
+// and failure-handling steps: one allocation carries what used to be a
+// closure per arrival event plus a wrapper closure per submitted job.
+type campaign struct {
+	sys         *core.System
+	cfg         Config
+	mix         []JobClass
+	totalWeight float64
+	total       int
+	rng         *rand.Rand
+	// arrivals, when non-nil, supplies interarrival gaps from a pooled
+	// batch on a dedicated stream (Config.ArrivalBatch).
+	arrivals *arrivalSampler
+	// onDoneFn is the one completion callback every submitted job shares.
+	onDoneFn func(*scheduler.Job)
+
+	stats           Stats
+	usedNodeSeconds float64
+	waitSum         units.Seconds
+	started         int
+	slowSum         map[string]float64
+	slowCount       map[string]int
+	slowSamples     map[string][]float64
+
+	firstInterrupt, lastInterrupt units.Seconds
+	// repairs is the pre-sized pool of repair events for the failure
+	// trace; nextRepair is its cursor.
+	repairs    []repairEvent
+	nextRepair int
+}
+
+// repairEvent returns one failed node to service after RepairTime.
+type repairEvent struct {
+	c    *campaign
+	node int
+}
+
+func doRepair(arg any) {
+	r := arg.(*repairEvent)
+	r.c.sys.Scheduler.MarkHealthy(r.node)
+}
+
+// arrivalSampler hands out exponential interarrival gaps drawn in
+// pooled batches from its own stream.
+type arrivalSampler struct {
+	rng  *rand.Rand
+	mean float64
+	buf  []units.Seconds
+	next int
+}
+
+func (a *arrivalSampler) gap() units.Seconds {
+	if a.next == len(a.buf) {
+		for i := range a.buf {
+			a.buf[i] = units.Seconds(a.rng.ExpFloat64() * a.mean)
+		}
+		a.next = 0
+	}
+	g := a.buf[a.next]
+	a.next++
+	return g
+}
+
+func (c *campaign) pick() JobClass {
+	r := c.rng.Float64() * c.totalWeight
+	for _, cl := range c.mix {
+		if r -= cl.Weight; r <= 0 {
+			return cl
+		}
+	}
+	return c.mix[len(c.mix)-1]
+}
+
+// campaignSubmit is the submission process: one arrival event, one next
+// arrival scheduled, zero per-event closures. The draw order per
+// submission — class pick, size fraction, one exponential, interarrival
+// gap — matches the original closure implementation exactly.
+func campaignSubmit(arg any) {
+	c := arg.(*campaign)
+	if c.sys.Kernel.Now() >= c.cfg.Duration {
+		return
+	}
+	cl := c.pick()
+	frac := cl.MinFrac + c.rng.Float64()*(cl.MaxFrac-cl.MinFrac)
+	nodes := int(frac * float64(c.total))
+	if nodes < 1 {
+		nodes = 1
+	}
+	// Both class shapes consume exactly one exponential draw here, so
+	// adding program classes to a mix never shifts the sequence a
+	// blob-only campaign sees.
+	draw := c.rng.ExpFloat64()
+	var err error
+	if cl.ProgramFor != nil {
+		meanIters := cl.MeanIterations
+		if meanIters <= 0 {
+			meanIters = 1
+		}
+		iters := 1 + int(draw*meanIters)
+		var p *job.Program
+		if p, err = cl.ProgramFor(nodes, iters); err == nil {
+			_, err = c.sys.Scheduler.SubmitProgram(p, c.onDoneFn)
+		}
+	} else {
+		wall := units.Seconds(draw * float64(cl.MeanWalltime))
+		if wall < units.Minute {
+			wall = units.Minute
+		}
+		_, err = c.sys.Scheduler.Submit(cl.Name, nodes, wall, c.onDoneFn)
+	}
+	if err == nil {
+		c.stats.Submitted++
+		c.stats.ByClass[cl.Name]++
+	}
+	var gap units.Seconds
+	if c.arrivals != nil {
+		gap = c.arrivals.gap()
+	} else {
+		gap = units.Seconds(c.rng.ExpFloat64() * float64(c.cfg.MeanInterarrival))
+	}
+	c.sys.Kernel.AfterCall(gap, campaignSubmit, c)
+}
+
+// onDone records a finished job: wait (started jobs only), state
+// counters, delivered-vs-requested, slowdown sample, node-seconds.
+func (c *campaign) onDone(j *scheduler.Job) {
+	finished := j.State == scheduler.Completed || j.State == scheduler.Failed || j.State == scheduler.Timeout
+	if finished {
+		wait := j.Start - j.Submit
+		c.waitSum += wait
+		c.started++
+		if wait > c.stats.MaxWait {
+			c.stats.MaxWait = wait
+		}
+	}
+	switch j.State {
+	case scheduler.Completed:
+		c.stats.Completed++
+	case scheduler.Failed:
+		c.stats.Failed++
+		c.stats.JobInterrupts++
+	case scheduler.Timeout:
+		c.stats.Timeouts++
+	}
+	if finished {
+		c.stats.Requested += j.Walltime
+		c.stats.Delivered += j.End - j.Start
+		c.stats.LostWork += j.LostWork
+		c.stats.Checkpoints += j.Checkpoints
+		run := j.End - j.Start
+		if run < units.Minute {
+			run = units.Minute
+		}
+		slow := float64(j.End-j.Submit) / float64(run)
+		c.slowSum[j.Class()] += slow
+		c.slowCount[j.Class()]++
+		c.slowSamples[j.Class()] = append(c.slowSamples[j.Class()], slow)
+	}
+	c.usedNodeSeconds += float64(len(j.Alloc)) * float64(j.End-j.Start)
+}
+
+// handleFailure maps an interrupting component failure onto a node:
+// checknode pulls it, a pooled repair event returns it.
+func (c *campaign) handleFailure(f resilience.Failure) {
+	if !f.Interrupting {
+		return
+	}
+	c.stats.NodeFailures++
+	now := c.sys.Kernel.Now()
+	if c.firstInterrupt == 0 {
+		c.firstInterrupt = now
+	}
+	c.lastInterrupt = now
+	node := f.Component % c.total
+	c.sys.Scheduler.MarkUnhealthy(node)
+	r := &c.repairs[c.nextRepair]
+	c.nextRepair++
+	r.node = node
+	c.sys.Kernel.AfterCall(c.cfg.RepairTime, doRepair, r)
 }
 
 // Run executes a campaign on the system. The system's kernel is consumed
@@ -186,147 +412,83 @@ func Run(sys *core.System, cfg Config, seed int64) (Stats, error) {
 		}
 		totalWeight += c.Weight
 	}
-	total := sys.Fabric.Cfg.ComputeNodes()
-	rng := rng.New(seed)
-	stats := Stats{ByClass: map[string]int{}, SlowdownByClass: map[string]float64{}}
-
-	var usedNodeSeconds float64
-	var waitSum units.Seconds
-	slowSum := map[string]float64{}
-	slowCount := map[string]int{}
-	started := 0
-	onDone := func(j *scheduler.Job) {
-		switch j.State {
-		case scheduler.Completed:
-			stats.Completed++
-		case scheduler.Failed:
-			stats.Failed++
-			stats.JobInterrupts++
-		case scheduler.Timeout:
-			stats.Timeouts++
+	if cfg.BackfillDepth > 0 {
+		sys.Scheduler.BackfillDepth = cfg.BackfillDepth
+	}
+	c := &campaign{
+		sys:         sys,
+		cfg:         cfg,
+		mix:         mix,
+		totalWeight: totalWeight,
+		total:       sys.Fabric.Cfg.ComputeNodes(),
+		rng:         rng.New(seed),
+		slowSum:     map[string]float64{},
+		slowCount:   map[string]int{},
+		slowSamples: map[string][]float64{},
+	}
+	c.stats = Stats{ByClass: map[string]int{}, SlowdownByClass: map[string]float64{}, TailSlowdownByClass: map[string]SlowdownQuantiles{}}
+	c.onDoneFn = c.onDone
+	if cfg.ArrivalBatch > 0 {
+		c.arrivals = &arrivalSampler{
+			rng:  rng.New(rng.Derive(seed, "workload/arrivals")),
+			mean: float64(cfg.MeanInterarrival),
+			buf:  make([]units.Seconds, cfg.ArrivalBatch),
+			next: cfg.ArrivalBatch,
 		}
-		if j.State == scheduler.Completed || j.State == scheduler.Failed || j.State == scheduler.Timeout {
-			stats.Requested += j.Walltime
-			stats.Delivered += j.End - j.Start
-			stats.LostWork += j.LostWork
-			stats.Checkpoints += j.Checkpoints
-			run := j.End - j.Start
-			if run < units.Minute {
-				run = units.Minute
-			}
-			slowSum[j.Class()] += float64(j.End-j.Submit) / float64(run)
-			slowCount[j.Class()]++
-		}
-		usedNodeSeconds += float64(len(j.Alloc)) * float64(j.End-j.Start)
 	}
 
-	pick := func() JobClass {
-		r := rng.Float64() * totalWeight
-		for _, c := range mix {
-			if r -= c.Weight; r <= 0 {
-				return c
-			}
-		}
-		return mix[len(mix)-1]
-	}
+	sys.Kernel.AtCall(0, campaignSubmit, c)
 
-	// Submission process.
-	var submit func()
-	submit = func() {
-		if sys.Kernel.Now() >= cfg.Duration {
-			return
-		}
-		c := pick()
-		frac := c.MinFrac + rng.Float64()*(c.MaxFrac-c.MinFrac)
-		nodes := int(frac * float64(total))
-		if nodes < 1 {
-			nodes = 1
-		}
-		// Both class shapes consume exactly one exponential draw here, so
-		// adding program classes to a mix never shifts the sequence a
-		// blob-only campaign sees.
-		draw := rng.ExpFloat64()
-		var j *scheduler.Job
-		var err error
-		if c.ProgramFor != nil {
-			meanIters := c.MeanIterations
-			if meanIters <= 0 {
-				meanIters = 1
-			}
-			iters := 1 + int(draw*meanIters)
-			var p *job.Program
-			if p, err = c.ProgramFor(nodes, iters); err == nil {
-				j, err = sys.Scheduler.SubmitProgram(p, onDone)
-			}
-		} else {
-			wall := units.Seconds(draw * float64(c.MeanWalltime))
-			if wall < units.Minute {
-				wall = units.Minute
-			}
-			j, err = sys.Scheduler.Submit(c.Name, nodes, wall, onDone)
-		}
-		if err == nil {
-			stats.Submitted++
-			stats.ByClass[c.Name]++
-			// Record the wait when the job eventually starts: poll via
-			// completion callback is too late for waits of unfinished
-			// jobs, so sample at start by wrapping OnComplete order —
-			// instead track at completion (started jobs only).
-			prev := j.OnComplete
-			j.OnComplete = func(done *scheduler.Job) {
-				if done.State == scheduler.Completed || done.State == scheduler.Failed || done.State == scheduler.Timeout {
-					wait := done.Start - done.Submit
-					waitSum += wait
-					started++
-					if wait > stats.MaxWait {
-						stats.MaxWait = wait
-					}
-				}
-				if prev != nil {
-					prev(done)
-				}
-			}
-		}
-		sys.Kernel.After(units.Seconds(rng.ExpFloat64()*float64(cfg.MeanInterarrival)), submit)
-	}
-	sys.Kernel.At(0, submit)
-
-	// Failure injection: interrupting component failures map onto nodes
-	// (checknode pulls them; repair returns them).
-	var firstInterrupt, lastInterrupt units.Seconds
+	// Failure injection: the whole trace is drawn up front (batched,
+	// same draws either way); paced mode feeds it to the calendar one
+	// outstanding event at a time, and the repair pool is pre-sized to
+	// the trace's interrupting count.
 	if cfg.InjectFailures {
-		sys.Reliability.Inject(sys.Kernel, cfg.Duration, rng, func(f resilience.Failure) {
-			if !f.Interrupting {
-				return
+		trace := sys.Reliability.Simulate(cfg.Duration, c.rng)
+		interrupting := 0
+		for _, f := range trace {
+			if f.Interrupting {
+				interrupting++
 			}
-			stats.NodeFailures++
-			if firstInterrupt == 0 {
-				firstInterrupt = sys.Kernel.Now()
-			}
-			lastInterrupt = sys.Kernel.Now()
-			node := f.Component % total
-			sys.Scheduler.MarkUnhealthy(node)
-			sys.Kernel.After(cfg.RepairTime, func() { sys.Scheduler.MarkHealthy(node) })
-		})
+		}
+		c.repairs = make([]repairEvent, interrupting)
+		for i := range c.repairs {
+			c.repairs[i].c = c
+		}
+		if cfg.PacedFailures {
+			resilience.InjectPaced(sys.Kernel, trace, c.handleFailure)
+		} else {
+			resilience.InjectTrace(sys.Kernel, trace, c.handleFailure)
+		}
 	}
 
 	sys.Kernel.RunUntil(cfg.Duration)
+	stats := &c.stats
 	if stats.NodeFailures > 1 {
-		stats.MeasuredMTTI = (lastInterrupt - firstInterrupt) / units.Seconds(stats.NodeFailures-1)
+		stats.MeasuredMTTI = (c.lastInterrupt - c.firstInterrupt) / units.Seconds(stats.NodeFailures-1)
 	}
 	// Credit still-running jobs for the node-time they have consumed.
 	for _, j := range sys.Scheduler.Running() {
-		usedNodeSeconds += float64(len(j.Alloc)) * float64(sys.Kernel.Now()-j.Start)
+		c.usedNodeSeconds += float64(len(j.Alloc)) * float64(sys.Kernel.Now()-j.Start)
 	}
 	stats.Unfinished = stats.Submitted - stats.Completed - stats.Failed - stats.Timeouts
-	stats.Utilization = usedNodeSeconds / (float64(total) * float64(cfg.Duration))
-	if started > 0 {
-		stats.AvgWait = waitSum / units.Seconds(started)
+	stats.Utilization = c.usedNodeSeconds / (float64(c.total) * float64(cfg.Duration))
+	if c.started > 0 {
+		stats.AvgWait = c.waitSum / units.Seconds(c.started)
 	}
-	for class, sum := range slowSum {
-		stats.SlowdownByClass[class] = sum / float64(slowCount[class])
+	for class, sum := range c.slowSum {
+		stats.SlowdownByClass[class] = sum / float64(c.slowCount[class])
 	}
-	return stats, nil
+	for class, samples := range c.slowSamples {
+		sort.Float64s(samples)
+		stats.TailSlowdownByClass[class] = SlowdownQuantiles{
+			P50:     quantile(samples, 0.50),
+			P95:     quantile(samples, 0.95),
+			P99:     quantile(samples, 0.99),
+			Samples: len(samples),
+		}
+	}
+	return c.stats, nil
 }
 
 // String summarises the stats.

@@ -133,3 +133,89 @@ func TestConfigValidation(t *testing.T) {
 		t.Error("inverted fractions should error")
 	}
 }
+
+// The at-scale sampling knobs must be individually deterministic, and
+// paced failure injection must not change campaign results at all
+// (same trace, same times — only calendar residency differs).
+func TestAtScaleKnobsDeterministic(t *testing.T) {
+	run := func(mut func(*Config)) Stats {
+		sys := campaignSystem(t)
+		cfg := DefaultConfig()
+		cfg.Duration = 2 * units.Day
+		cfg.MeanInterarrival = 10 * units.Minute
+		mut(&cfg)
+		stats, err := Run(sys, cfg, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	base := run(func(c *Config) {})
+	paced := run(func(c *Config) { c.PacedFailures = true })
+	if base.String() != paced.String() || base.Utilization != paced.Utilization ||
+		base.NodeFailures != paced.NodeFailures || base.MaxWait != paced.MaxWait {
+		t.Errorf("paced failures changed the campaign:\n base: %v\npaced: %v", base, paced)
+	}
+
+	batchedA := run(func(c *Config) { c.ArrivalBatch = 512 })
+	batchedB := run(func(c *Config) { c.ArrivalBatch = 512 })
+	if batchedA.String() != batchedB.String() || batchedA.Utilization != batchedB.Utilization {
+		t.Errorf("batched arrivals not deterministic:\na: %v\nb: %v", batchedA, batchedB)
+	}
+	if batchedA.Submitted == 0 {
+		t.Fatal("batched campaign submitted nothing")
+	}
+}
+
+// Percentile slowdowns are exact nearest-rank quantiles over every
+// finished job, consistent with the mean the class already reports.
+func TestTailSlowdowns(t *testing.T) {
+	sys := campaignSystem(t)
+	cfg := DefaultConfig()
+	cfg.Duration = 2 * units.Day
+	cfg.MeanInterarrival = 5 * units.Minute
+	stats, err := Run(sys, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.TailSlowdownByClass) == 0 {
+		t.Fatal("no tail slowdowns recorded")
+	}
+	total := 0
+	for class, q := range stats.TailSlowdownByClass {
+		if q.Samples <= 0 {
+			t.Errorf("%s: no samples", class)
+		}
+		total += q.Samples
+		if q.P50 < 1 || q.P95 < q.P50 || q.P99 < q.P95 {
+			t.Errorf("%s: quantiles not ordered: p50=%.2f p95=%.2f p99=%.2f", class, q.P50, q.P95, q.P99)
+		}
+		mean := stats.SlowdownByClass[class]
+		if mean <= 0 {
+			t.Errorf("%s: tail quantiles without a mean", class)
+		}
+		if q.P50 > mean*10+10 {
+			t.Errorf("%s: p50 %.2f wildly above mean %.2f", class, q.P50, mean)
+		}
+	}
+	finished := stats.Completed + stats.Failed + stats.Timeouts
+	if total != finished {
+		t.Errorf("quantile samples %d != finished jobs %d (not reservoir-free?)", total, finished)
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{{0.50, 5}, {0.95, 10}, {0.99, 10}, {0.10, 1}, {1.0, 10}}
+	for _, c := range cases {
+		if got := quantile(s, c.q); got != c.want {
+			t.Errorf("quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := quantile([]float64{3.5}, 0.99); got != 3.5 {
+		t.Errorf("single-sample quantile = %v", got)
+	}
+}

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"frontiersim/internal/apps"
+	"frontiersim/internal/job"
+)
+
+// YearMix is ProgramMix shaped for year-scale campaigns: the same class
+// structure, weights, and per-submission draw discipline, but drawn node
+// and iteration counts are quantized to power-of-two buckets and the
+// built programs are memoized per (class, nodes, iterations). A year of
+// submissions then lands on a few dozen distinct programs instead of
+// thousands, which is what lets the placement-signature pricing cache
+// collapse the campaign's Bind cost: repeated (program, placement-shape)
+// pairs become cache hits instead of full phase-pricing passes.
+//
+// Quantization happens inside ProgramFor, after the rng draws, so a
+// YearMix campaign consumes exactly the draw sequence a ProgramMix
+// campaign would — the buckets change which programs run, never how the
+// stream advances.
+func YearMix(p *apps.Platform, node job.NodeModel) []JobClass {
+	classes := ProgramMix(p, node)
+	for i := range classes {
+		build := classes[i].ProgramFor
+		memo := map[[2]int]*job.Program{}
+		classes[i].ProgramFor = func(nodes, iters int) (*job.Program, error) {
+			key := [2]int{quantizePow2(nodes), quantizePow2(iters)}
+			if prog, ok := memo[key]; ok {
+				return prog, nil
+			}
+			prog, err := build(key[0], key[1])
+			if err != nil {
+				return nil, err
+			}
+			memo[key] = prog
+			return prog, nil
+		}
+	}
+	return classes
+}
+
+// quantizePow2 rounds n to the nearest power of two (geometric nearest:
+// up when n reaches 1.5x the floor), minimum 1.
+func quantizePow2(n int) int {
+	if n < 1 {
+		return 1
+	}
+	p := 1
+	for p <= n/2 {
+		p *= 2
+	}
+	if n >= p+p/2 {
+		p *= 2
+	}
+	return p
+}
